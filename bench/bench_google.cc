@@ -1,0 +1,142 @@
+// Standard google-benchmark microbenchmarks of the dispatch paths, for use
+// with the library's tooling (--benchmark_format=json, compare.py, etc.).
+// The paper-table reproductions live in the bench_table* binaries; this one
+// exists for profiling and regression tracking of the library itself.
+#include <benchmark/benchmark.h>
+
+#include "src/core/dispatcher.h"
+#include "src/net/host.h"
+
+namespace {
+
+uint64_t g_sink = 0;
+uint64_t g_state = 1;
+
+void SinkHandler(int64_t v) { benchmark::DoNotOptimize(g_sink += v); }
+bool TrueGuard(int64_t) { return true; }
+
+// One-time fixtures: events are static so each benchmark measures steady
+// state, not setup.
+struct Fixtures {
+  spin::Module module{"GBench"};
+  spin::Dispatcher jit;
+  spin::Dispatcher interp;
+  spin::Dispatcher tree;
+
+  spin::Event<void(int64_t)> direct{"G.Direct", &module, &SinkHandler, &jit};
+  spin::Event<void(int64_t)> guarded{"G.Guarded", &module, nullptr, &jit};
+  spin::Event<void(int64_t)> guarded_interp{"G.GuardedI", &module, nullptr,
+                                            &interp};
+  spin::Event<void(int64_t)> ten{"G.Ten", &module, nullptr, &jit};
+  struct Pkt {
+    uint8_t data[16];
+  };
+  spin::Event<void(Pkt*)> demux{"G.Demux", &module, nullptr, &tree};
+  Pkt pkt{};
+
+  Fixtures()
+      : interp(InterpConfig()), tree(TreeConfig()) {
+    jit.InstallHandler(guarded, &TrueGuard, &SinkHandler,
+                       {.module = &module});
+    interp.InstallHandler(guarded_interp, &TrueGuard, &SinkHandler,
+                          {.module = &module});
+    for (int i = 0; i < 10; ++i) {
+      auto binding = jit.InstallMicroHandler(
+          ten, spin::micro::ReturnConst(1, 0, false), {.module = &module});
+      jit.AddMicroGuard(binding, spin::micro::GuardGlobalEq(&g_state, 1));
+    }
+    for (int i = 0; i < 32; ++i) {
+      auto binding = tree.InstallMicroHandler(
+          demux, spin::micro::ReturnConst(1, 0, false), {.module = &module});
+      tree.AddMicroGuard(binding,
+                         spin::micro::GuardArgFieldEq(
+                             1, 0, 4, 2, ~0ull,
+                             static_cast<uint64_t>(1000 + i)));
+    }
+    pkt.data[4] = static_cast<uint8_t>((1000 + 31) & 0xff);
+    pkt.data[5] = static_cast<uint8_t>((1000 + 31) >> 8);
+  }
+
+  static spin::Dispatcher::Config InterpConfig() {
+    spin::Dispatcher::Config config;
+    config.enable_jit = false;
+    return config;
+  }
+  static spin::Dispatcher::Config TreeConfig() {
+    spin::Dispatcher::Config config;
+    config.guard_tree = true;
+    return config;
+  }
+};
+
+Fixtures& F() {
+  static Fixtures* fixtures = new Fixtures();
+  return *fixtures;
+}
+
+void BM_RaiseIntrinsic(benchmark::State& state) {
+  auto& event = F().direct;
+  for (auto _ : state) {
+    event.Raise(1);
+  }
+}
+BENCHMARK(BM_RaiseIntrinsic);
+
+void BM_RaiseGuardedJit(benchmark::State& state) {
+  auto& event = F().guarded;
+  for (auto _ : state) {
+    event.Raise(1);
+  }
+}
+BENCHMARK(BM_RaiseGuardedJit);
+
+void BM_RaiseGuardedInterp(benchmark::State& state) {
+  auto& event = F().guarded_interp;
+  for (auto _ : state) {
+    event.Raise(1);
+  }
+}
+BENCHMARK(BM_RaiseGuardedInterp);
+
+void BM_RaiseTenHandlers(benchmark::State& state) {
+  auto& event = F().ten;
+  for (auto _ : state) {
+    event.Raise(1);
+  }
+}
+BENCHMARK(BM_RaiseTenHandlers);
+
+void BM_RaiseTreeDemux32(benchmark::State& state) {
+  auto& fixtures = F();
+  for (auto _ : state) {
+    fixtures.demux.Raise(&fixtures.pkt);
+  }
+}
+BENCHMARK(BM_RaiseTreeDemux32);
+
+void BM_InstallUninstall(benchmark::State& state) {
+  auto& fixtures = F();
+  for (auto _ : state) {
+    auto binding = fixtures.jit.InstallHandler(fixtures.guarded,
+                                               &SinkHandler,
+                                               {.module = &fixtures.module});
+    fixtures.jit.Uninstall(binding, &fixtures.module);
+  }
+}
+BENCHMARK(BM_InstallUninstall);
+
+void BM_PacketReceivePath(benchmark::State& state) {
+  static spin::Dispatcher dispatcher;
+  static spin::net::Host host("bench", 0x0a000001, &dispatcher);
+  static spin::net::UdpSocket socket(host, 1000, nullptr);
+  static spin::net::Packet packet = spin::net::MakeUdpPacket(
+      0x0a000002, host.ip(), 2000, 1000, "12345678");
+  for (auto _ : state) {
+    host.Receive(packet);
+  }
+}
+BENCHMARK(BM_PacketReceivePath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

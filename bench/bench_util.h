@@ -1,0 +1,53 @@
+// Shared measurement helpers for the paper-reproduction benchmarks.
+//
+// Every bench binary prints the corresponding paper table's rows directly
+// (plus our measured values), so `for b in build/bench/*; do $b; done`
+// regenerates the whole evaluation section.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/rt/clock.h"
+
+namespace spin {
+namespace bench {
+
+// Median-of-repeats nanoseconds per operation.
+template <typename F>
+double NsPerOp(F&& fn, size_t iters = 200000, int repeats = 7) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  // Warmup.
+  for (size_t i = 0; i < iters / 10 + 1; ++i) {
+    fn();
+  }
+  for (int r = 0; r < repeats; ++r) {
+    uint64_t start = NowNs();
+    for (size_t i = 0; i < iters; ++i) {
+      fn();
+    }
+    uint64_t elapsed = NowNs() - start;
+    samples.push_back(static_cast<double>(elapsed) /
+                      static_cast<double>(iters));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+inline void Rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar(c);
+  }
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace spin
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,157 @@
+// User-space threads over EPHEMERAL scheduler hooks (§2.6):
+//
+//   "extensions that manage user-space threads rely on EPHEMERAL handlers
+//    to save and restore thread state during context switches. Premature
+//    termination results in the termination of the user-space thread,
+//    which is followed by a termination of the user-space task itself."
+//
+// A thread-package extension installs an EPHEMERAL handler on Strand.Run.
+// On every scheduling operation it saves the outgoing user thread's state
+// and picks the next runnable user thread for the strand. A deliberately
+// runaway save/restore hook is terminated by the dispatcher, and the
+// package responds by killing the user task — exactly the containment
+// story of the paper.
+//
+// Build & run:  ./build/examples/uthreads
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace {
+
+struct UserThread {
+  std::string name;
+  int progress = 0;
+  bool done = false;
+};
+
+class ThreadPackage {
+ public:
+  ThreadPackage(spin::Kernel& kernel, spin::Strand& strand, bool runaway)
+      : module_("UThreads"), kernel_(kernel), strand_(strand),
+        runaway_(runaway) {
+    kernel_.dispatcher().RequireEphemeralHandlers(
+        kernel_.StrandRun, /*budget_ns=*/2'000'000,
+        &kernel_.strand_module());
+    binding_ = kernel_.dispatcher().InstallLambda(
+        kernel_.StrandRun,
+        [this](spin::Strand* strand) { SwitchHook(strand); },
+        {.ephemeral = true, .module = &module_});
+  }
+
+  void AddThread(const std::string& name) {
+    threads_.push_back(UserThread{name});
+  }
+
+  UserThread* current() {
+    return threads_.empty() ? nullptr : &threads_[current_index_];
+  }
+
+  bool task_killed() const { return task_killed_; }
+  int switches() const { return switches_; }
+  const std::vector<UserThread>& threads() const { return threads_; }
+
+ private:
+  void SwitchHook(spin::Strand* strand) {
+    if (strand != &strand_ || threads_.empty()) {
+      return;
+    }
+    // The save/restore window is EPHEMERAL: it must finish within the
+    // budget or be terminated. Polling CheckTermination() models the
+    // compiler-inserted checks of the paper's EPHEMERAL code.
+    spin::CheckTermination();
+    if (runaway_) {
+      std::printf("  [uthreads] save/restore hook wedged; awaiting "
+                  "termination...\n");
+      while (true) {
+        spin::CheckTermination();
+      }
+    }
+    ++switches_;
+    current_index_ = (current_index_ + 1) % threads_.size();
+  }
+
+ public:
+  // Called by the kernel glue when the dispatcher reports our hook was
+  // terminated (aborted handlers on the last raise).
+  void OnTerminated() {
+    task_killed_ = true;
+    kernel_.Kill(strand_);
+  }
+
+ private:
+  spin::Module module_;
+  spin::Kernel& kernel_;
+  spin::Strand& strand_;
+  bool runaway_;
+  spin::BindingHandle binding_;
+  std::vector<UserThread> threads_;
+  size_t current_index_ = 0;
+  int switches_ = 0;
+  bool task_killed_ = false;
+};
+
+void RunScenario(bool runaway) {
+  spin::Dispatcher dispatcher;
+  spin::Kernel kernel(&dispatcher);
+
+  ThreadPackage* package = nullptr;
+  spin::Strand& strand = kernel.CreateStrand("user-task", [&](spin::Strand&) {
+    UserThread* thread = package->current();
+    if (thread == nullptr) {
+      return false;
+    }
+    ++thread->progress;
+    if (thread->progress >= 3) {
+      thread->done = true;
+    }
+    bool all_done = true;
+    for (const UserThread& t : package->threads()) {
+      all_done = all_done && t.done;
+    }
+    return !all_done;
+  });
+
+  ThreadPackage threads(kernel, strand, runaway);
+  package = &threads;
+  threads.AddThread("ut-alpha");
+  threads.AddThread("ut-beta");
+  threads.AddThread("ut-gamma");
+
+  if (!runaway) {
+    uint64_t quanta = kernel.RunUntilIdle(100);
+    std::printf("  ran %llu quanta, %d user context switches\n",
+                static_cast<unsigned long long>(quanta),
+                threads.switches());
+    for (const UserThread& t : threads.threads()) {
+      std::printf("  %s: progress %d %s\n", t.name.c_str(), t.progress,
+                  t.done ? "(done)" : "");
+    }
+    return;
+  }
+
+  // Runaway arm: one quantum is enough — the hook wedges, the dispatcher
+  // terminates it, and the package kills the user task.
+  kernel.RunUntilIdle(1);
+  std::printf("  hook terminated by the dispatcher; killing the task\n");
+  threads.OnTerminated();
+  uint64_t more = kernel.RunUntilIdle(100);
+  std::printf("  task killed: %s (further quanta: %llu)\n",
+              threads.task_killed() ? "yes" : "no",
+              static_cast<unsigned long long>(more));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("1. cooperative user threads over EPHEMERAL Strand.Run "
+              "hooks:\n");
+  RunScenario(/*runaway=*/false);
+  std::printf("2. a wedged save/restore hook is terminated; the user task "
+              "dies with it:\n");
+  RunScenario(/*runaway=*/true);
+  std::printf("uthreads done.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "src/codegen/exec_memory.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "src/rt/panic.h"
+
+namespace spin {
+namespace codegen {
+namespace {
+
+std::atomic<size_t> g_total_mapped{0};
+
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+CodeBuffer::CodeBuffer(void* base, size_t code_size, size_t mapped_size)
+    : base_(base), code_size_(code_size), mapped_size_(mapped_size) {
+  g_total_mapped.fetch_add(mapped_size, std::memory_order_relaxed);
+}
+
+std::unique_ptr<CodeBuffer> CodeBuffer::Create(
+    const std::vector<uint8_t>& code) {
+  SPIN_ASSERT(!code.empty());
+  size_t mapped = (code.size() + PageSize() - 1) & ~(PageSize() - 1);
+  void* base = mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return nullptr;
+  }
+  std::memcpy(base, code.data(), code.size());
+  if (mprotect(base, mapped, PROT_READ | PROT_EXEC) != 0) {
+    munmap(base, mapped);
+    return nullptr;
+  }
+  return std::unique_ptr<CodeBuffer>(
+      new CodeBuffer(base, code.size(), mapped));
+}
+
+CodeBuffer::~CodeBuffer() {
+  g_total_mapped.fetch_sub(mapped_size_, std::memory_order_relaxed);
+  munmap(base_, mapped_size_);
+}
+
+size_t CodeBuffer::TotalMappedBytes() {
+  return g_total_mapped.load(std::memory_order_relaxed);
+}
+
+}  // namespace codegen
+}  // namespace spin

@@ -1,0 +1,44 @@
+// Executable memory for runtime-generated code, with W^X discipline:
+// pages are written while PROT_READ|PROT_WRITE and flipped to
+// PROT_READ|PROT_EXEC before first use.
+#ifndef SRC_CODEGEN_EXEC_MEMORY_H_
+#define SRC_CODEGEN_EXEC_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace spin {
+namespace codegen {
+
+class CodeBuffer {
+ public:
+  // Copies `code` into fresh executable pages. Returns nullptr if the
+  // platform refuses executable mappings.
+  static std::unique_ptr<CodeBuffer> Create(const std::vector<uint8_t>& code);
+
+  ~CodeBuffer();
+  CodeBuffer(const CodeBuffer&) = delete;
+  CodeBuffer& operator=(const CodeBuffer&) = delete;
+
+  const void* entry() const { return base_; }
+  size_t code_size() const { return code_size_; }
+  size_t mapped_size() const { return mapped_size_; }
+
+  // Total bytes of generated code currently mapped (diagnostics; feeds the
+  // "too many handlers" memory-accounting story of §2.6).
+  static size_t TotalMappedBytes();
+
+ private:
+  CodeBuffer(void* base, size_t code_size, size_t mapped_size);
+
+  void* base_;
+  size_t code_size_;
+  size_t mapped_size_;
+};
+
+}  // namespace codegen
+}  // namespace spin
+
+#endif  // SRC_CODEGEN_EXEC_MEMORY_H_

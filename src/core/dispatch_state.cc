@@ -1,0 +1,253 @@
+#include "src/core/dispatch_state.h"
+
+#include <array>
+
+#include "src/core/dispatcher.h"
+#include "src/core/ephemeral.h"
+#include "src/core/errors.h"
+#include "src/micro/interp.h"
+#include "src/rt/clock.h"
+#include "src/rt/epoch.h"
+#include "src/rt/panic.h"
+
+namespace spin {
+namespace {
+
+// Builds the argument view a micro-program sees: closure (if any) followed
+// by the event arguments.
+struct MicroArgs {
+  std::array<uint64_t, kMaxEventArgs + 1> storage;
+  const uint64_t* data;
+  int count;
+
+  MicroArgs(const uint64_t* slots, int num_args, bool closure_form,
+            void* closure) {
+    if (closure_form) {
+      storage[0] = reinterpret_cast<uintptr_t>(closure);
+      for (int i = 0; i < num_args; ++i) {
+        storage[i + 1] = slots[i];
+      }
+      data = storage.data();
+      count = num_args + 1;
+    } else {
+      data = slots;
+      count = num_args;
+    }
+  }
+};
+
+uint64_t Fold(const DispatchTable& table, uint64_t result, uint64_t current,
+              uint32_t index) {
+  if (table.custom_fold != nullptr) {
+    return table.custom_fold(table.custom_fold_ctx, result, current, index);
+  }
+  switch (table.policy) {
+    case ResultPolicy::kNone:
+    case ResultPolicy::kLast:
+      return result;
+    case ResultPolicy::kOr:
+      return current | result;
+    case ResultPolicy::kAnd:
+      return current & result;
+    case ResultPolicy::kSum:
+      return current + result;
+  }
+  return result;
+}
+
+void ScheduleAsyncBinding(const DispatchTable& table,
+                          const BindingHandle& binding,
+                          const RaiseFrame& frame, int num_args) {
+  std::array<uint64_t, kMaxEventArgs> slots{};
+  for (int i = 0; i < num_args; ++i) {
+    slots[i] = frame.args[i];
+  }
+  uint64_t budget = table.ephemeral_budget_ns;
+  table.pool->Submit(
+      [binding, slots, budget]() mutable {
+        uint64_t deadline =
+            binding->ephemeral && budget != 0 ? NowNs() + budget : 0;
+        uint64_t result = 0;
+        try {
+          RunHandler(*binding, slots.data(), &result, deadline);
+        } catch (const DispatchError&) {
+          // Detached execution: nobody to report to (§2.6).
+        }
+      },
+      table.async_mode);
+}
+
+}  // namespace
+
+bool EvalGuards(const Binding& binding, const uint64_t* slots) {
+  int num_args = static_cast<int>(binding.event->sig().params.size());
+  for (const GuardClause& guard : binding.guards()) {
+    bool pass;
+    if (guard.prog) {
+      MicroArgs args(slots, num_args, guard.closure_form, guard.closure);
+      pass = micro::Run(*guard.prog, args.data, args.count) != 0;
+    } else {
+      SPIN_DCHECK(guard.invoker != nullptr);
+      pass = guard.invoker(guard.fn, guard.closure, slots);
+    }
+    if (!pass) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RunHandler(const Binding& binding, uint64_t* slots, uint64_t* result,
+                uint64_t deadline_ns) {
+  int num_args = static_cast<int>(binding.event->sig().params.size());
+  if (deadline_ns != 0) {
+    EphemeralScope scope(deadline_ns);
+    try {
+      if (binding.invoker != nullptr) {
+        *result = binding.invoker(binding.fn, binding.closure, slots);
+      } else {
+        SPIN_DCHECK(binding.prog.has_value());
+        MicroArgs args(slots, num_args, binding.closure_form,
+                       binding.closure);
+        *result = micro::Run(*binding.prog, args.data, args.count);
+      }
+    } catch (const TerminatedError&) {
+      return false;
+    }
+    return true;
+  }
+  if (binding.invoker != nullptr) {
+    *result = binding.invoker(binding.fn, binding.closure, slots);
+  } else {
+    SPIN_DCHECK(binding.prog.has_value());
+    MicroArgs args(slots, num_args, binding.closure_form, binding.closure);
+    *result = micro::Run(*binding.prog, args.data, args.count);
+  }
+  return true;
+}
+
+void ExecuteTable(EventBase& event, const DispatchTable& table,
+                  RaiseFrame& frame) {
+  frame.result = table.InitialResult();
+  int num_args = static_cast<int>(event.sig().params.size());
+
+  if (table.stub != nullptr) {
+    table.stub->entry()(&frame);
+  } else {
+    for (const BindingHandle& binding : table.sync_bindings) {
+      if (!EvalGuards(*binding, frame.args)) {
+        continue;
+      }
+      uint64_t deadline = binding->ephemeral && table.ephemeral_budget_ns != 0
+                              ? NowNs() + table.ephemeral_budget_ns
+                              : 0;
+      uint64_t result = 0;
+      if (!RunHandler(*binding, frame.args, &result, deadline)) {
+        ++frame.aborted;
+        continue;
+      }
+      if (table.returns_value) {
+        frame.result = table.policy == ResultPolicy::kLast &&
+                               table.custom_fold == nullptr
+                           ? result
+                           : Fold(table, result, frame.result, frame.fired);
+      }
+      ++frame.fired;
+    }
+  }
+
+  for (const BindingHandle& binding : table.async_bindings) {
+    if (!EvalGuards(*binding, frame.args)) {
+      continue;
+    }
+    ScheduleAsyncBinding(table, binding, frame, num_args);
+    ++frame.fired;
+  }
+
+  if (frame.fired == 0) {
+    if (table.default_handler != nullptr) {
+      uint64_t result = 0;
+      RunHandler(*table.default_handler, frame.args, &result, 0);
+      if (table.returns_value) {
+        frame.result = result;
+      }
+      frame.fired = 1;
+    } else {
+      throw NoHandlerError(event.name());
+    }
+  }
+}
+
+void EventBase::RaiseErased(RaiseFrame& frame) {
+  Dispatcher& dispatcher = *owner_;
+  bool profiling = dispatcher.profiling();
+  uint64_t start = profiling ? NowNs() : 0;
+  bool promote = false;
+  {
+    EpochDomain::Guard guard(dispatcher.epoch());
+    DispatchTable* table = table_.load(std::memory_order_acquire);
+    SPIN_DCHECK(table != nullptr);
+    if (table->lazy_pending) {
+      promote = lazy_raises_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+                dispatcher.config().lazy_promote_raises;
+    }
+    ExecuteTable(*this, *table, frame);
+  }
+  if (promote) {
+    // The event proved hot: compile its dispatch routine now (§3.1's
+    // "more incremental (and economical) approach to installation").
+    dispatcher.PromoteLazyEvent(*this);
+  }
+  if (profiling) {
+    raises_.fetch_add(1, std::memory_order_relaxed);
+    raise_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+  }
+}
+
+void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
+  ThreadPool* pool = nullptr;
+  AsyncMode mode = AsyncMode::kPooled;
+  {
+    EpochDomain::Guard guard(owner_->epoch());
+    DispatchTable* table = table_.load(std::memory_order_acquire);
+    pool = table->pool;
+    mode = table->async_mode;
+  }
+  RaiseFrame copy = frame;
+  pool->Submit(
+      [this, copy]() mutable {
+        try {
+          RaiseErased(copy);
+        } catch (const DispatchError&) {
+          // Detached raise: errors have no raiser to land on.
+        }
+      },
+      mode);
+}
+
+bool EventBase::has_default_handler() const {
+  EpochDomain::Guard guard(owner_->epoch());
+  DispatchTable* table = table_.load(std::memory_order_acquire);
+  return table->default_handler != nullptr;
+}
+
+size_t EventBase::handler_count() const {
+  EpochDomain::Guard guard(owner_->epoch());
+  DispatchTable* table = table_.load(std::memory_order_acquire);
+  return table->sync_bindings.size() + table->async_bindings.size();
+}
+
+size_t EventBase::guard_count() const {
+  EpochDomain::Guard guard(owner_->epoch());
+  DispatchTable* table = table_.load(std::memory_order_acquire);
+  size_t count = 0;
+  for (const auto& b : table->sync_bindings) {
+    count += b->guards().size();
+  }
+  for (const auto& b : table->async_bindings) {
+    count += b->guards().size();
+  }
+  return count;
+}
+
+}  // namespace spin

@@ -1,0 +1,771 @@
+#include "src/core/dispatcher.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/micro/pattern.h"
+#include "src/rt/panic.h"
+
+namespace spin {
+namespace {
+
+void DeleteTable(void* p) { delete static_cast<DispatchTable*>(p); }
+
+size_t GuardListBytes(const std::vector<GuardClause>& guards) {
+  size_t bytes = 0;
+  for (const GuardClause& guard : guards) {
+    bytes += sizeof(GuardClause);
+    if (guard.prog) {
+      bytes += guard.prog->code().size() * sizeof(micro::Insn);
+    }
+  }
+  return bytes;
+}
+
+bool SigJitable(const ProcSig& sig) {
+  if (sig.params.size() > 6) {
+    return false;
+  }
+  for (const ParamSig& p : sig.params) {
+    if (p.cls == TypeClass::kFloat64) {
+      return false;  // doubles travel in SSE registers; interpreter only
+    }
+  }
+  return sig.result.cls != TypeClass::kFloat64;
+}
+
+// Whether one callable (handler or guard) can participate in a generated
+// stub, possibly by compiling its micro-program out of line. May set
+// `compiled` (caller holds the dispatcher mutex).
+template <typename Clause>
+bool CallableJitable(Clause& clause, bool inline_micro, size_t num_args) {
+  bool has_native = clause.fn != nullptr;
+  bool has_prog = clause.prog.has_value() &&
+                  clause.prog->Validate() == micro::ValidateStatus::kOk;
+  if (clause.closure_form && num_args > 5) {
+    return false;
+  }
+  if (inline_micro && has_prog) {
+    return true;
+  }
+  if (has_native) {
+    return true;
+  }
+  if (has_prog) {
+    if (clause.compiled == nullptr) {
+      clause.compiled = codegen::CompileMicro(*clause.prog);
+    }
+    return clause.compiled != nullptr;
+  }
+  return false;
+}
+
+// Guard decision tree planning (§3.2 future work): if every sync binding
+// carries a micro guard discriminating the same field against pairwise
+// distinct, pre-masked constants (and nothing widens arguments by-ref, so
+// a handler cannot change what later guards would have seen), the linear
+// guard chain can be compiled as a binary search. Returns the tree plus the
+// matched guard index per binding (stripped from the emitted guard list).
+struct TreePlan {
+  codegen::StubTree tree;
+  std::vector<size_t> matched_guard;  // per sync binding
+};
+
+std::optional<TreePlan> PlanGuardTree(
+    const std::vector<BindingHandle>& sync_bindings) {
+  TreePlan plan;
+  plan.matched_guard.reserve(sync_bindings.size());
+  bool have_key = false;
+  micro::FieldEqPattern key;
+  std::vector<uint64_t> values;
+  for (size_t b = 0; b < sync_bindings.size(); ++b) {
+    const Binding& binding = *sync_bindings[b];
+    if (!binding.byref_params.empty()) {
+      return std::nullopt;
+    }
+    const std::vector<GuardClause>& guards = binding.guards();
+    bool matched = false;
+    for (size_t g = 0; g < guards.size(); ++g) {
+      if (!guards[g].prog.has_value() || guards[g].closure_form) {
+        continue;
+      }
+      micro::FieldEqPattern pattern;
+      if (!micro::MatchFieldEq(*guards[g].prog, &pattern)) {
+        continue;
+      }
+      if (have_key && !pattern.SameField(key)) {
+        continue;  // maybe another guard on this binding matches the key
+      }
+      uint64_t width_mask = pattern.width == 8
+                                ? ~0ull
+                                : ((1ull << (8 * pattern.width)) - 1);
+      if ((pattern.value & pattern.mask & width_mask) != pattern.value) {
+        return std::nullopt;  // the guard can never pass; keep linear
+      }
+      if (!have_key) {
+        key = pattern;
+        have_key = true;
+      }
+      plan.matched_guard.push_back(g);
+      values.push_back(pattern.value);
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      return std::nullopt;
+    }
+  }
+  plan.tree.arg = key.arg;
+  plan.tree.offset = key.offset;
+  plan.tree.width = key.width;
+  plan.tree.mask = key.mask;
+  for (size_t b = 0; b < sync_bindings.size(); ++b) {
+    plan.tree.cases.push_back(
+        codegen::TreeCase{values[b], static_cast<uint32_t>(b)});
+  }
+  std::sort(plan.tree.cases.begin(), plan.tree.cases.end(),
+            [](const codegen::TreeCase& a, const codegen::TreeCase& b) {
+              return a.value < b.value;
+            });
+  for (size_t i = 1; i < plan.tree.cases.size(); ++i) {
+    if (plan.tree.cases[i - 1].value == plan.tree.cases[i].value) {
+      return std::nullopt;  // duplicate constants: order matters, stay linear
+    }
+  }
+  return plan;
+}
+
+template <typename Clause>
+codegen::CallableSpec MakeCallableSpec(const Clause& clause,
+                                       bool inline_micro) {
+  codegen::CallableSpec spec;
+  spec.closure = clause.closure;
+  spec.closure_form = clause.closure_form;
+  if (inline_micro && clause.prog.has_value()) {
+    spec.prog = &*clause.prog;
+    return spec;
+  }
+  if (clause.fn != nullptr) {
+    spec.fn = clause.fn;
+  } else {
+    SPIN_ASSERT(clause.compiled != nullptr);
+    spec.fn = clause.compiled->entry();
+  }
+  return spec;
+}
+
+}  // namespace
+
+void AuthRequest::ImposeGuard(GuardClause guard) {
+  SPIN_ASSERT_MSG(op == AuthOp::kInstall && binding != nullptr,
+                  "ImposeGuard is only valid while authorizing an install");
+  guard.imposed = true;
+  // The candidate binding is not yet visible to raises.
+  binding->AddGuardPreActive(std::move(guard), /*front=*/true);
+}
+
+void AuthRequest::SetOrder(Order order) {
+  SPIN_ASSERT_MSG(op == AuthOp::kInstall && binding != nullptr,
+                  "SetOrder is only valid while authorizing an install");
+  binding->order = std::move(order);
+}
+
+// --- EventBase lifecycle -----------------------------------------------------
+
+EventBase::EventBase(std::string name, ProcSig sig, const Module* authority,
+                     Dispatcher* owner)
+    : name_(std::move(name)),
+      sig_(std::move(sig)),
+      authority_(authority),
+      owner_(owner) {
+  SPIN_ASSERT(owner_ != nullptr);
+  SPIN_ASSERT_MSG(sig_.params.size() <= static_cast<size_t>(kMaxEventArgs),
+                  "event %s has too many parameters", name_.c_str());
+  owner_->RegisterEvent(this);
+}
+
+EventBase::~EventBase() { owner_->UnregisterEvent(this); }
+
+// --- Dispatcher ---------------------------------------------------------------
+
+Dispatcher::Dispatcher(const Config& config)
+    : config_(config),
+      epoch_(config.epoch != nullptr ? config.epoch : &EpochDomain::Global()),
+      pool_(config.pool != nullptr ? config.pool : &ThreadPool::Global()),
+      quota_(config.quota_bytes_per_module) {}
+
+Dispatcher::~Dispatcher() {
+  // Events must be destroyed before their dispatcher; whatever tables remain
+  // belong to events that leaked. Reclaim retired state.
+  epoch_->Flush();
+}
+
+Dispatcher& Dispatcher::Global() {
+  static Dispatcher* dispatcher = new Dispatcher();  // intentionally leaked
+  return *dispatcher;
+}
+
+void Dispatcher::RegisterEvent(EventBase* event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+  RebuildLocked(*event);
+}
+
+void Dispatcher::PromoteLazyEvent(EventBase& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (event.hot_) {
+    return;  // racing raises: first promotion wins
+  }
+  event.hot_ = true;
+  ++stats_.lazy_promotions;
+  RebuildLocked(event);
+}
+
+void Dispatcher::UnregisterEvent(EventBase* event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.erase(std::remove(events_.begin(), events_.end(), event),
+                  events_.end());
+  }
+  // Drain concurrent raises, then free the final table directly.
+  epoch_->Synchronize();
+  delete event->table_.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+bool Dispatcher::AuthorizeLocked(AuthRequest& request) {
+  EventBase& event = *request.event;
+  if (event.authorizer_ == nullptr) {
+    return true;  // unguarded events are open, as in SPIN pre-authorizer
+  }
+  return event.authorizer_(request, event.authorizer_ctx_);
+}
+
+void Dispatcher::CheckIsAuthorityOrAuthorized(EventBase& event, AuthOp op,
+                                              const Module* requestor,
+                                              void* credentials) {
+  AuthRequest request;
+  request.op = op;
+  request.event = &event;
+  request.requestor = requestor;
+  request.credentials = credentials;
+  if (!AuthorizeLocked(request)) {
+    throw InstallError(InstallStatus::kNotAuthorized, event.name());
+  }
+}
+
+void Dispatcher::PlaceLocked(EventBase& event, const BindingHandle& binding,
+                             const Order& order) {
+  std::vector<BindingHandle>& list = event.order_list;
+  switch (order.kind) {
+    case OrderKind::kUnordered:
+    case OrderKind::kLast:
+      list.push_back(binding);
+      break;
+    case OrderKind::kFirst:
+      list.insert(list.begin(), binding);
+      break;
+    case OrderKind::kBefore:
+    case OrderKind::kAfter: {
+      auto it = std::find(list.begin(), list.end(), order.ref);
+      if (order.ref == nullptr || order.ref->event != &event ||
+          it == list.end()) {
+        throw InstallError(InstallStatus::kBadOrderingReference,
+                           event.name());
+      }
+      list.insert(order.kind == OrderKind::kAfter ? it + 1 : it, binding);
+      break;
+    }
+  }
+}
+
+BindingHandle Dispatcher::Install(EventBase& event,
+                                  std::shared_ptr<Binding> binding,
+                                  const InstallOptions& opts) {
+  binding->event = &event;
+  if (binding->owner == nullptr) {
+    binding->owner = opts.module;
+  }
+  if (binding->async && !AsyncEligible(event.sig())) {
+    throw InstallError(InstallStatus::kAsyncByRef, event.name());
+  }
+  binding->sig.ephemeral = binding->ephemeral;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (event.require_ephemeral_ && !binding->ephemeral &&
+      !binding->intrinsic) {
+    throw InstallError(InstallStatus::kEphemeralRequired, event.name());
+  }
+  if (!binding->intrinsic) {
+    AuthRequest request;
+    request.op = AuthOp::kInstall;
+    request.event = &event;
+    request.binding = binding.get();
+    request.requestor = opts.module;
+    request.credentials = opts.credentials;
+    if (!AuthorizeLocked(request)) {
+      throw InstallError(InstallStatus::kNotAuthorized, event.name());
+    }
+  }
+  size_t bytes = binding->MemoryBytes();
+  if (!quota_.Charge(binding->owner, bytes)) {
+    throw InstallError(InstallStatus::kQuotaExceeded, event.name());
+  }
+  PlaceLocked(event, binding, binding->order);
+  if (binding->intrinsic) {
+    event.intrinsic_binding = binding;
+  }
+  ++stats_.installs;
+  RebuildLocked(event);
+  return binding;
+}
+
+BindingHandle Dispatcher::InstallDefault(EventBase& event,
+                                         std::shared_ptr<Binding> binding,
+                                         const InstallOptions& opts) {
+  binding->event = &event;
+  if (binding->owner == nullptr) {
+    binding->owner = opts.module;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  AuthRequest request;
+  request.op = AuthOp::kSetDefault;
+  request.event = &event;
+  request.binding = binding.get();
+  request.requestor = opts.module;
+  request.credentials = opts.credentials;
+  if (!AuthorizeLocked(request)) {
+    throw InstallError(InstallStatus::kNotAuthorized, event.name());
+  }
+  size_t bytes = binding->MemoryBytes();
+  if (!quota_.Charge(binding->owner, bytes)) {
+    throw InstallError(InstallStatus::kQuotaExceeded, event.name());
+  }
+  if (event.default_binding != nullptr) {
+    quota_.Release(event.default_binding->owner,
+                   event.default_binding->MemoryBytes());
+    event.default_binding->active.store(false, std::memory_order_release);
+  }
+  event.default_binding = binding;
+  ++stats_.installs;
+  RebuildLocked(event);
+  return binding;
+}
+
+BindingHandle Dispatcher::InstallMicroHandler(EventBase& event,
+                                              micro::Program prog,
+                                              const InstallOptions& opts) {
+  if (prog.Validate() != micro::ValidateStatus::kOk) {
+    throw InstallError(InstallStatus::kInvalidMicroProgram, event.name());
+  }
+  if (prog.num_args() > static_cast<int>(event.sig().params.size())) {
+    throw InstallError(TypecheckStatus::kArityMismatch, event.name());
+  }
+  auto binding = std::make_shared<Binding>();
+  binding->sig = event.sig();
+  binding->prog = std::move(prog);
+  binding->owner = opts.module;
+  binding->async = opts.async;
+  binding->ephemeral = opts.ephemeral;
+  binding->order = opts.order;
+  return Install(event, std::move(binding), opts);
+}
+
+void Dispatcher::AddMicroGuard(const BindingHandle& binding,
+                               micro::Program prog) {
+  if (!prog.functional()) {
+    throw InstallError(TypecheckStatus::kGuardNotFunctional,
+                       binding->event->name());
+  }
+  if (prog.Validate() != micro::ValidateStatus::kOk) {
+    throw InstallError(InstallStatus::kInvalidMicroProgram,
+                       binding->event->name());
+  }
+  GuardClause clause;
+  clause.prog = std::move(prog);
+  std::vector<GuardClause> guards = binding->CopyGuards();
+  guards.push_back(std::move(clause));
+  ReplaceBindingGuardsLocked(binding, std::move(guards));
+}
+
+void Dispatcher::RemoveGuard(const BindingHandle& binding, size_t index,
+                             const Module* requestor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EventBase& event = *binding->event;
+  if (!binding->active.load(std::memory_order_acquire)) {
+    throw InstallError(InstallStatus::kBindingInactive, event.name());
+  }
+  std::vector<GuardClause> guards = binding->CopyGuards();
+  SPIN_ASSERT_MSG(index < guards.size(), "guard index %zu out of range",
+                  index);
+  if (guards[index].imposed) {
+    // Manipulating an authority-imposed guard is itself authorized.
+    AuthRequest request;
+    request.op = AuthOp::kImposeGuard;
+    request.event = &event;
+    request.binding = binding.get();
+    request.requestor = requestor;
+    if (!AuthorizeLocked(request)) {
+      throw InstallError(InstallStatus::kNotAuthorized, event.name());
+    }
+  }
+  size_t old_bytes = GuardListBytes(binding->guards());
+  guards.erase(guards.begin() + static_cast<ptrdiff_t>(index));
+  quota_.Release(binding->owner, old_bytes - GuardListBytes(guards));
+  binding->ReplaceGuards(std::move(guards), *epoch_);
+  RebuildLocked(event);
+}
+
+size_t Dispatcher::GuardCount(const BindingHandle& binding) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return binding->guards().size();
+}
+
+EventBase* Dispatcher::FindEvent(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (EventBase* event : events_) {
+    if (event->name() == name) {
+      return event;
+    }
+  }
+  return nullptr;
+}
+
+std::string Dispatcher::Describe(EventBase& event) const {
+  std::string out = event.name() + " " + event.sig().ToString() + "\n";
+  EpochDomain::Guard guard(*epoch_);
+  DispatchTable* table = event.table_.load(std::memory_order_acquire);
+  const char* kind = "interpreted";
+  if (event.direct_fn() != nullptr) {
+    kind = "direct call (intrinsic bypass)";
+  } else if (table->stub != nullptr) {
+    kind = "generated stub";
+  } else if (table->lazy_pending) {
+    kind = "interpreted (lazy, compile pending)";
+  }
+  out += "  dispatch: ";
+  out += kind;
+  out += "\n";
+  char line[160];
+  size_t guards = 0;
+  for (const auto& binding : table->sync_bindings) {
+    guards += binding->guards().size();
+  }
+  for (const auto& binding : table->async_bindings) {
+    guards += binding->guards().size();
+  }
+  std::snprintf(line, sizeof(line),
+                "  handlers: %zu sync, %zu async, %s default; guards: %zu\n",
+                table->sync_bindings.size(), table->async_bindings.size(),
+                table->default_handler != nullptr ? "1" : "no", guards);
+  out += line;
+  if (table->stub != nullptr) {
+    std::snprintf(line, sizeof(line),
+                  "  generated code: %zu bytes, %zu LIR insns, "
+                  "%zu peephole rewrites\n",
+                  table->stub->code_size(), table->stub->lir_insns(),
+                  table->stub->peephole_rewrites());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  table version: %u\n", table->version);
+  out += line;
+  return out;
+}
+
+void Dispatcher::ReplaceBindingGuardsLocked(const BindingHandle& binding,
+                                            std::vector<GuardClause> guards) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!binding->active.load(std::memory_order_acquire)) {
+    throw InstallError(InstallStatus::kBindingInactive,
+                       binding->event->name());
+  }
+  // Guard storage counts against the owner's quota (§2.6): without this an
+  // extension could hoard memory by piling guards onto one binding.
+  size_t old_bytes = GuardListBytes(binding->guards());
+  size_t new_bytes = GuardListBytes(guards);
+  if (new_bytes > old_bytes) {
+    if (!quota_.Charge(binding->owner, new_bytes - old_bytes)) {
+      throw InstallError(InstallStatus::kQuotaExceeded,
+                         binding->event->name());
+    }
+  } else {
+    quota_.Release(binding->owner, old_bytes - new_bytes);
+  }
+  binding->ReplaceGuards(std::move(guards), *epoch_);
+  RebuildLocked(*binding->event);
+}
+
+void Dispatcher::Uninstall(const BindingHandle& binding,
+                           const Module* requestor, void* credentials) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EventBase& event = *binding->event;
+  if (!binding->active.load(std::memory_order_acquire)) {
+    throw InstallError(InstallStatus::kBindingInactive, event.name());
+  }
+  AuthRequest request;
+  request.op = AuthOp::kUninstall;
+  request.event = &event;
+  request.binding = binding.get();
+  request.requestor = requestor;
+  request.credentials = credentials;
+  if (!AuthorizeLocked(request)) {
+    throw InstallError(InstallStatus::kNotAuthorized, event.name());
+  }
+  binding->active.store(false, std::memory_order_release);
+  if (event.default_binding == binding) {
+    event.default_binding = nullptr;
+  } else {
+    auto& list = event.order_list;
+    list.erase(std::remove(list.begin(), list.end(), binding), list.end());
+  }
+  if (event.intrinsic_binding == binding) {
+    event.intrinsic_binding = nullptr;
+  }
+  quota_.Release(binding->owner, binding->MemoryBytes());
+  ++stats_.uninstalls;
+  RebuildLocked(event);
+}
+
+void Dispatcher::DeregisterIntrinsic(EventBase& event,
+                                     const Module* requestor) {
+  BindingHandle intrinsic;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    intrinsic = event.intrinsic_binding;
+  }
+  if (intrinsic == nullptr) {
+    throw InstallError(InstallStatus::kBindingInactive,
+                       event.name() + " has no intrinsic handler");
+  }
+  Uninstall(intrinsic, requestor);
+}
+
+void Dispatcher::SetOrder(const BindingHandle& binding, Order order) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EventBase& event = *binding->event;
+  if (!binding->active.load(std::memory_order_acquire)) {
+    throw InstallError(InstallStatus::kBindingInactive, event.name());
+  }
+  auto& list = event.order_list;
+  list.erase(std::remove(list.begin(), list.end(), binding), list.end());
+  PlaceLocked(event, binding, order);
+  binding->order = order;
+  RebuildLocked(event);
+}
+
+Order Dispatcher::GetOrder(const BindingHandle& binding) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return binding->order;
+}
+
+void Dispatcher::SetResultPolicy(EventBase& event, ResultPolicy policy,
+                                 const Module* requestor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckIsAuthorityOrAuthorized(event, AuthOp::kSetResultHandler, requestor,
+                               nullptr);
+  event.policy_ = policy;
+  event.custom_fold_ = nullptr;
+  event.custom_fold_ctx_ = nullptr;
+  RebuildLocked(event);
+}
+
+void Dispatcher::SetResultFold(EventBase& event, ResultFold fold, void* ctx,
+                               const Module* requestor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckIsAuthorityOrAuthorized(event, AuthOp::kSetResultHandler, requestor,
+                               nullptr);
+  event.custom_fold_ = fold;
+  event.custom_fold_ctx_ = ctx;
+  RebuildLocked(event);
+}
+
+void Dispatcher::InstallAuthorizer(EventBase& event, AuthorizerFn authorizer,
+                                   void* ctx, const Module& proof) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (event.authority() == nullptr || !(*event.authority() == proof)) {
+    throw InstallError(InstallStatus::kNotAuthority, event.name());
+  }
+  event.authorizer_ = authorizer;
+  event.authorizer_ctx_ = ctx;
+}
+
+void Dispatcher::SetEventAsync(EventBase& event, bool async,
+                               const Module* requestor) {
+  if (async && !AsyncEligible(event.sig())) {
+    throw InstallError(InstallStatus::kAsyncByRef, event.name());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckIsAuthorityOrAuthorized(event, AuthOp::kInstall, requestor, nullptr);
+  event.async_event_.store(async, std::memory_order_release);
+  RebuildLocked(event);  // direct mode must be disabled while async
+}
+
+void Dispatcher::RequireEphemeralHandlers(EventBase& event,
+                                          uint64_t budget_ns,
+                                          const Module* requestor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckIsAuthorityOrAuthorized(event, AuthOp::kInstall, requestor, nullptr);
+  event.require_ephemeral_ = true;
+  event.ephemeral_budget_ns_ = budget_ns;
+  RebuildLocked(event);
+}
+
+void Dispatcher::SetForceInterp(EventBase& event, bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.force_interp_ = force;
+  RebuildLocked(event);
+}
+
+void Dispatcher::EnableProfiling(bool enabled) {
+  profiling_.store(enabled, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (EventBase* event : events_) {
+    RebuildLocked(*event);  // profiling disables the direct-call bypass
+  }
+}
+
+std::vector<EventBase*> Dispatcher::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+Dispatcher::Stats Dispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Dispatcher::RebuildLocked(EventBase& event) {
+  auto table = std::make_unique<DispatchTable>();
+  table->pool = pool_;
+  table->async_mode = config_.async_mode;
+  table->returns_value = event.sig().result.cls != TypeClass::kVoid;
+  table->result_is_bool = event.sig().result.cls == TypeClass::kBool;
+  table->policy = table->returns_value ? event.policy_ : ResultPolicy::kNone;
+  table->custom_fold = event.custom_fold_;
+  table->custom_fold_ctx = event.custom_fold_ctx_;
+  table->default_handler = event.default_binding;
+  table->ephemeral_budget_ns = event.ephemeral_budget_ns_;
+  table->version = ++event.version_;
+
+  for (const BindingHandle& binding : event.order_list) {
+    if (!binding->active.load(std::memory_order_acquire)) {
+      continue;
+    }
+    (binding->async ? table->async_bindings : table->sync_bindings)
+        .push_back(binding);
+  }
+
+  // --- D1: intrinsic-bypass direct call --------------------------------
+  void* direct = nullptr;
+  if (config_.allow_direct && !profiling() && !event.async_event() &&
+      table->async_bindings.empty() && table->sync_bindings.size() == 1 &&
+      table->custom_fold == nullptr) {
+    const Binding& only = *table->sync_bindings[0];
+    if (only.fn != nullptr && !only.closure_form && only.guards().empty() &&
+        only.byref_params.empty() && !only.ephemeral) {
+      direct = only.fn;
+    }
+  }
+
+  // --- D3: runtime code generation --------------------------------------
+  size_t num_args = event.sig().params.size();
+  bool jitable = direct == nullptr && config_.enable_jit &&
+                 !event.force_interp_ && codegen::CodegenAvailable() &&
+                 SigJitable(event.sig()) && table->custom_fold == nullptr &&
+                 !table->sync_bindings.empty();
+  // Incremental installation: defer compilation until the event is hot.
+  if (jitable && config_.lazy_compile && !event.hot_) {
+    table->lazy_pending = true;
+    jitable = false;
+  }
+  if (jitable) {
+    for (const BindingHandle& binding : table->sync_bindings) {
+      // Guarded by mu_; compiled micro bodies are cached on the clauses.
+      auto& mutable_binding = const_cast<Binding&>(*binding);
+      if (binding->ephemeral || binding->may_throw ||
+          !CallableJitable(mutable_binding, config_.inline_micro,
+                           num_args)) {
+        jitable = false;
+        break;
+      }
+      for (const GuardClause& guard : binding->guards()) {
+        if (!CallableJitable(const_cast<GuardClause&>(guard),
+                             config_.inline_micro, num_args)) {
+          jitable = false;
+          break;
+        }
+      }
+      if (!jitable) {
+        break;
+      }
+    }
+  }
+  if (jitable) {
+    codegen::StubSpec spec;
+    spec.num_args = static_cast<int>(num_args);
+    spec.policy = table->policy;
+    spec.result_is_bool = table->result_is_bool;
+    spec.inline_micro = config_.inline_micro;
+    spec.optimize = config_.optimize;
+    std::optional<TreePlan> tree_plan;
+    if (config_.guard_tree &&
+        table->sync_bindings.size() >= config_.guard_tree_threshold) {
+      tree_plan = PlanGuardTree(table->sync_bindings);
+    }
+    for (size_t b = 0; b < table->sync_bindings.size(); ++b) {
+      const BindingHandle& binding = table->sync_bindings[b];
+      codegen::BindingSpec bspec;
+      bspec.handler = MakeCallableSpec(*binding, config_.inline_micro);
+      bspec.byref_params = binding->byref_params;
+      const std::vector<GuardClause>& guards = binding->guards();
+      std::vector<const GuardClause*> ordered;
+      ordered.reserve(guards.size());
+      for (size_t g = 0; g < guards.size(); ++g) {
+        if (tree_plan.has_value() && tree_plan->matched_guard[b] == g) {
+          continue;  // the decision tree subsumes this guard
+        }
+        ordered.push_back(&guards[g]);
+      }
+      if (config_.reorder_guards) {
+        // D4: guards are FUNCTIONAL, so evaluation order is free; put
+        // cheap inlinable guards first to short-circuit out-of-line calls.
+        std::stable_sort(ordered.begin(), ordered.end(),
+                         [](const GuardClause* a, const GuardClause* b) {
+                           size_t ca = a->prog ? a->prog->Cost() : 1000;
+                           size_t cb = b->prog ? b->prog->Cost() : 1000;
+                           return ca < cb;
+                         });
+      }
+      for (const GuardClause* guard : ordered) {
+        bspec.guards.push_back(
+            MakeCallableSpec(*guard, config_.inline_micro));
+      }
+      spec.bindings.push_back(std::move(bspec));
+    }
+    if (tree_plan.has_value()) {
+      spec.tree = std::move(tree_plan->tree);
+    }
+    table->stub = codegen::CompileStub(spec);
+    if (table->stub != nullptr) {
+      ++stats_.stub_compiles;
+      if (spec.tree.has_value()) {
+        ++stats_.tree_tables;
+      }
+    }
+  }
+  if (direct != nullptr) {
+    ++stats_.direct_tables;
+  } else if (table->stub == nullptr) {
+    ++stats_.interp_tables;
+  }
+  ++stats_.rebuilds;
+
+  // Publish with a single store; retire the old table through EBR.
+  DispatchTable* old = event.table_.exchange(table.release(),
+                                             std::memory_order_acq_rel);
+  event.direct_fn_.store(direct, std::memory_order_release);
+  if (old != nullptr) {
+    epoch_->Retire(old, &DeleteTable);
+  }
+}
+
+}  // namespace spin

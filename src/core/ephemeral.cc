@@ -1,0 +1,28 @@
+#include "src/core/ephemeral.h"
+
+#include "src/core/errors.h"
+#include "src/rt/clock.h"
+
+namespace spin {
+namespace {
+
+thread_local uint64_t g_deadline_ns = 0;
+
+}  // namespace
+
+EphemeralScope::EphemeralScope(uint64_t deadline_ns)
+    : saved_deadline_(g_deadline_ns) {
+  g_deadline_ns = deadline_ns;
+}
+
+EphemeralScope::~EphemeralScope() { g_deadline_ns = saved_deadline_; }
+
+bool InEphemeralScope() { return g_deadline_ns != 0; }
+
+void CheckTermination() {
+  if (g_deadline_ns != 0 && NowNs() > g_deadline_ns) {
+    throw TerminatedError();
+  }
+}
+
+}  // namespace spin

@@ -1,0 +1,39 @@
+// EPHEMERAL handler termination (§2.6 "Runaway handlers").
+//
+// SPIN terminated over-budget EPHEMERAL handlers preemptively; the compiler
+// guaranteed safety by confining EPHEMERAL code. In user-space C++ we use
+// cooperative termination: the dispatcher opens an EphemeralScope with the
+// event's time budget around the handler, and the handler (or any micro-op
+// style helper it calls) polls CheckTermination(), which throws
+// TerminatedError once the deadline passes. The dispatcher catches the
+// error, counts the handler as aborted, and continues with the remaining
+// handlers — the same observable behaviour as SPIN's localized termination.
+#ifndef SRC_CORE_EPHEMERAL_H_
+#define SRC_CORE_EPHEMERAL_H_
+
+#include <cstdint>
+
+namespace spin {
+
+class EphemeralScope {
+ public:
+  // deadline_ns is an absolute NowNs() deadline; 0 means "no budget".
+  explicit EphemeralScope(uint64_t deadline_ns);
+  ~EphemeralScope();
+  EphemeralScope(const EphemeralScope&) = delete;
+  EphemeralScope& operator=(const EphemeralScope&) = delete;
+
+ private:
+  uint64_t saved_deadline_;
+};
+
+// True while executing under an EphemeralScope.
+bool InEphemeralScope();
+
+// Throws TerminatedError if the enclosing scope's deadline has passed.
+// No-op outside a scope.
+void CheckTermination();
+
+}  // namespace spin
+
+#endif  // SRC_CORE_EPHEMERAL_H_

@@ -1,0 +1,29 @@
+#include "src/core/errors.h"
+
+namespace spin {
+
+const char* InstallStatusName(InstallStatus status) {
+  switch (status) {
+    case InstallStatus::kTypecheckFailed:
+      return "typecheck failed";
+    case InstallStatus::kNotAuthorized:
+      return "operation denied by the event's authorizer";
+    case InstallStatus::kQuotaExceeded:
+      return "handler memory quota exceeded";
+    case InstallStatus::kBadOrderingReference:
+      return "ordering constraint references a binding on another event";
+    case InstallStatus::kAsyncByRef:
+      return "asynchronous execution is illegal for by-ref events";
+    case InstallStatus::kEphemeralRequired:
+      return "event requires EPHEMERAL handlers";
+    case InstallStatus::kInvalidMicroProgram:
+      return "micro-program failed validation";
+    case InstallStatus::kNotAuthority:
+      return "caller is not the event's authority";
+    case InstallStatus::kBindingInactive:
+      return "binding is no longer installed";
+  }
+  return "<bad>";
+}
+
+}  // namespace spin

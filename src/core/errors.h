@@ -1,0 +1,82 @@
+// Error types surfaced by the dispatcher.
+//
+// SPIN used Modula-3 exceptions; we use a small hierarchy rooted at
+// DispatchError. Raise-path errors (NoHandlerError) correspond to the §2.3
+// rule that "in case no handler runs, a runtime exception is thrown at the
+// point the event is raised"; install-path errors carry the typecheck or
+// authorization failure.
+#ifndef SRC_CORE_ERRORS_H_
+#define SRC_CORE_ERRORS_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "src/types/typecheck.h"
+
+namespace spin {
+
+class DispatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Raised (thrown) when an event with no default handler fires no handlers.
+class NoHandlerError : public DispatchError {
+ public:
+  explicit NoHandlerError(const std::string& event_name)
+      : DispatchError("no handler fired for event " + event_name) {}
+};
+
+enum class InstallStatus {
+  kTypecheckFailed,
+  kNotAuthorized,
+  kQuotaExceeded,
+  kBadOrderingReference,
+  kAsyncByRef,           // async handler/event on a by-ref event (§2.6)
+  kEphemeralRequired,    // event's authority demands EPHEMERAL handlers
+  kInvalidMicroProgram,
+  kNotAuthority,         // caller could not demonstrate authority (§2.5)
+  kBindingInactive,
+};
+
+const char* InstallStatusName(InstallStatus status);
+
+class InstallError : public DispatchError {
+ public:
+  InstallError(InstallStatus status, const std::string& detail)
+      : DispatchError(std::string(InstallStatusName(status)) +
+                      (detail.empty() ? "" : ": " + detail)),
+        status_(status),
+        typecheck_(TypecheckStatus::kOk) {}
+  InstallError(TypecheckStatus typecheck, const std::string& detail)
+      : DispatchError(std::string(TypecheckStatusName(typecheck)) +
+                      (detail.empty() ? "" : ": " + detail)),
+        status_(InstallStatus::kTypecheckFailed),
+        typecheck_(typecheck) {}
+
+  InstallStatus status() const { return status_; }
+  TypecheckStatus typecheck() const { return typecheck_; }
+
+ private:
+  InstallStatus status_;
+  TypecheckStatus typecheck_;
+};
+
+// Misuse of asynchronous raising (result-returning async event without a
+// default handler, or Raise() on an event configured fully asynchronous
+// with a non-void result).
+class AsyncError : public DispatchError {
+ public:
+  using DispatchError::DispatchError;
+};
+
+// Thrown into an EPHEMERAL handler whose time budget expired (§2.6). Only
+// EPHEMERAL handlers may observe it; the dispatcher absorbs it.
+class TerminatedError : public DispatchError {
+ public:
+  TerminatedError() : DispatchError("ephemeral handler terminated") {}
+};
+
+}  // namespace spin
+
+#endif  // SRC_CORE_ERRORS_H_

@@ -1,0 +1,145 @@
+// Typed invoker generation.
+//
+// The interpreter's counterpart to the generated stub's direct calls: given
+// the event's signature and the installed procedure's signature, these
+// templates produce a C-ABI invoker that unpacks argument slots from the
+// RaiseFrame and calls the procedure with its true C++ types. The zip of
+// event parameters against procedure parameters implements the §2.4 rules
+// in the type system:
+//   - identical parameter: unpack by value (or deref the stored pointer for
+//     event-level VAR parameters),
+//   - filter widening (event by-value T, procedure T&): bind the reference
+//     to the argument slot itself — the copy the dispatcher made — so the
+//     filter's mutation is seen by later handlers but not by the raiser.
+#ifndef SRC_CORE_INVOKE_H_
+#define SRC_CORE_INVOKE_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "src/types/signature.h"
+
+namespace spin {
+
+template <typename EArg, typename FArg>
+struct ArgAccess {
+  static_assert(std::is_same_v<EArg, FArg>,
+                "handler parameter must match the event's (or widen a "
+                "by-value parameter to a reference when installed as a "
+                "filter)");
+  static FArg Get(uint64_t* slot) { return SlotCodec<FArg>::Unpack(*slot); }
+};
+
+// Filter widening: the reference binds to the argument copy in the frame.
+// The build uses -fno-strict-aliasing (kernel discipline), making the slot
+// reinterpretation well-defined in practice for the 8-byte parameter
+// classes the dispatcher admits.
+template <typename T>
+struct ArgAccess<T, T&> {
+  static T& Get(uint64_t* slot) { return *reinterpret_cast<T*>(slot); }
+};
+
+template <typename R>
+uint64_t PackResult(R value) {
+  return SlotCodec<R>::Pack(value);
+}
+
+// Handler invoker: procedure signature FSig matched against event EventSig.
+template <typename EventSig, typename FSig>
+struct NativeInvoke;
+
+template <typename R, typename... EA, typename R2, typename... FA>
+struct NativeInvoke<R(EA...), R2(FA...)> {
+  static_assert(sizeof...(EA) == sizeof...(FA),
+                "handler arity must match the event");
+
+  static uint64_t Call(void* fn, void* /*closure*/, uint64_t* slots) {
+    return CallImpl(fn, slots, std::index_sequence_for<FA...>{});
+  }
+
+ private:
+  template <size_t... I>
+  static uint64_t CallImpl(void* fn, uint64_t* slots,
+                           std::index_sequence<I...>) {
+    auto* f = reinterpret_cast<R2 (*)(FA...)>(fn);
+    if constexpr (std::is_void_v<R2>) {
+      f(ArgAccess<EA, FA>::Get(&slots[I])...);
+      return 0;
+    } else {
+      return PackResult<R2>(f(ArgAccess<EA, FA>::Get(&slots[I])...));
+    }
+  }
+};
+
+// Handler invoker with a leading closure parameter (§2.1: "if the handler
+// is installed with a closure, the closure is passed as an additional
+// argument").
+template <typename EventSig, typename FSig>
+struct NativeInvokeClosure;
+
+template <typename R, typename... EA, typename R2, typename C, typename... FA>
+struct NativeInvokeClosure<R(EA...), R2(C*, FA...)> {
+  static_assert(sizeof...(EA) == sizeof...(FA),
+                "handler arity must match the event plus one closure");
+
+  static uint64_t Call(void* fn, void* closure, uint64_t* slots) {
+    return CallImpl(fn, closure, slots, std::index_sequence_for<FA...>{});
+  }
+
+ private:
+  template <size_t... I>
+  static uint64_t CallImpl(void* fn, void* closure, uint64_t* slots,
+                           std::index_sequence<I...>) {
+    auto* f = reinterpret_cast<R2 (*)(C*, FA...)>(fn);
+    if constexpr (std::is_void_v<R2>) {
+      f(static_cast<C*>(closure), ArgAccess<EA, FA>::Get(&slots[I])...);
+      return 0;
+    } else {
+      return PackResult<R2>(f(static_cast<C*>(closure),
+                              ArgAccess<EA, FA>::Get(&slots[I])...));
+    }
+  }
+};
+
+// Guard invokers: guards receive exactly the event's parameters (§2.4) and
+// never widen, so plain unpacking suffices.
+template <typename GSig>
+struct GuardInvoke;
+
+template <typename... GA>
+struct GuardInvoke<bool(GA...)> {
+  static bool Call(void* fn, void* /*closure*/, const uint64_t* slots) {
+    return CallImpl(fn, slots, std::index_sequence_for<GA...>{});
+  }
+
+ private:
+  template <size_t... I>
+  static bool CallImpl(void* fn, const uint64_t* slots,
+                       std::index_sequence<I...>) {
+    auto* f = reinterpret_cast<bool (*)(GA...)>(fn);
+    return f(SlotCodec<GA>::Unpack(slots[I])...);
+  }
+};
+
+template <typename GSig>
+struct GuardInvokeClosure;
+
+template <typename C, typename... GA>
+struct GuardInvokeClosure<bool(C*, GA...)> {
+  static bool Call(void* fn, void* closure, const uint64_t* slots) {
+    return CallImpl(fn, closure, slots, std::index_sequence_for<GA...>{});
+  }
+
+ private:
+  template <size_t... I>
+  static bool CallImpl(void* fn, void* closure, const uint64_t* slots,
+                       std::index_sequence<I...>) {
+    auto* f = reinterpret_cast<bool (*)(C*, GA...)>(fn);
+    return f(static_cast<C*>(closure), SlotCodec<GA>::Unpack(slots[I])...);
+  }
+};
+
+}  // namespace spin
+
+#endif  // SRC_CORE_INVOKE_H_

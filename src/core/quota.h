@@ -1,0 +1,70 @@
+// Handler memory accounting (§2.6 "Too many handlers").
+//
+// "An extension could exhaust the system's memory by installing a large
+// number of handlers on an event. Presently, SPIN denies additional
+// installations when memory is low, relying on individual authorizers to
+// locally enforce restrictions." We do the same, with bookkeeping precise
+// enough to test: every binding (and its guards and generated code share)
+// is charged to its owning module; installs that would exceed the
+// per-module budget are denied with kQuotaExceeded.
+#ifndef SRC_CORE_QUOTA_H_
+#define SRC_CORE_QUOTA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/rt/spinlock.h"
+#include "src/types/module.h"
+
+namespace spin {
+
+class QuotaManager {
+ public:
+  explicit QuotaManager(size_t per_module_limit)
+      : limit_(per_module_limit) {}
+
+  // Attempts to charge `bytes` to `module` (nullptr charges the anonymous
+  // account). Returns false — without charging — if the module would exceed
+  // its budget.
+  bool Charge(const Module* module, size_t bytes) {
+    std::lock_guard<Spinlock> lock(mu_);
+    size_t& used = usage_[Key(module)];
+    if (used + bytes > limit_) {
+      return false;
+    }
+    used += bytes;
+    return true;
+  }
+
+  void Release(const Module* module, size_t bytes) {
+    std::lock_guard<Spinlock> lock(mu_);
+    size_t& used = usage_[Key(module)];
+    used = bytes > used ? 0 : used - bytes;
+  }
+
+  size_t Usage(const Module* module) const {
+    std::lock_guard<Spinlock> lock(mu_);
+    auto it = usage_.find(Key(module));
+    return it == usage_.end() ? 0 : it->second;
+  }
+
+  size_t limit() const { return limit_; }
+  void SetLimit(size_t limit) {
+    std::lock_guard<Spinlock> lock(mu_);
+    limit_ = limit;
+  }
+
+ private:
+  static uint64_t Key(const Module* module) {
+    return module == nullptr ? 0 : module->id();
+  }
+
+  mutable Spinlock mu_;
+  std::unordered_map<uint64_t, size_t> usage_;
+  size_t limit_;
+};
+
+}  // namespace spin
+
+#endif  // SRC_CORE_QUOTA_H_

@@ -1,0 +1,107 @@
+// An in-memory filesystem with event-based operations.
+//
+// SPIN hosted "six different file systems" as extensions; file operations
+// are events, so extensions can interpose. The motivating example of §2.3:
+// "an extension can provide the MS-DOS file name space over a UNIX file
+// system by transparently converting file names from one standard to the
+// other" — a *filter* installed on the open/lookup events that rewrites the
+// path argument for the handlers behind it (see examples/fs_filter.cc).
+#ifndef SRC_FS_VFS_H_
+#define SRC_FS_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/dispatcher.h"
+
+namespace spin {
+namespace fs {
+
+inline constexpr int64_t kErrNoEnt = -2;
+inline constexpr int64_t kErrBadFd = -9;
+inline constexpr int64_t kErrExists = -17;
+
+inline constexpr int32_t kOpenCreate = 1;
+inline constexpr int32_t kOpenTrunc = 2;
+
+class Vfs {
+ public:
+  explicit Vfs(Dispatcher* dispatcher);
+
+  // Events. Result < 0 is an errno-style failure. The path parameter is
+  // by-value (a pointer), so filters may widen it to by-ref and substitute
+  // a converted name.
+  Event<int64_t(const char*, int32_t)> Open;             // -> fd
+  Event<int64_t(int64_t, char*, int64_t)> Read;          // fd, buf, len -> n
+  Event<int64_t(int64_t, const char*, int64_t)> Write;   // fd, buf, len -> n
+  Event<int64_t(int64_t)> CloseFd;                       // fd -> 0
+  Event<int64_t(const char*)> Remove;                    // path -> 0
+
+  const Module& module() const { return module_; }
+  Module& module() { return module_; }
+  Dispatcher& dispatcher() { return *dispatcher_; }
+
+  // --- Mount support ------------------------------------------------------
+  //
+  // "An application may provide a new in-kernel file system" (§1): a second
+  // filesystem registers a path prefix and installs its own guarded
+  // handlers on the same events. The base (UFS) handlers carry guards that
+  // decline mounted paths and foreign fd ranges, so the filesystems compose
+  // without knowing about each other.
+  static constexpr int64_t kMountFdRange = 1 << 20;
+
+  void RegisterMount(const std::string& prefix);
+  void UnregisterMount(const std::string& prefix);
+  bool PathMounted(const char* path) const;
+  // A private fd range for a mounted filesystem.
+  int64_t AllocateMountFdBase() {
+    mount_fd_next_ += kMountFdRange;
+    return mount_fd_next_;
+  }
+
+  // Introspection for tests.
+  bool Exists(const std::string& path) const {
+    return files_.count(path) > 0;
+  }
+  size_t file_count() const { return files_.size(); }
+  uint64_t ops() const { return ops_; }
+
+ private:
+  // The UFS-style base implementation, installed as the events' handlers.
+  static int64_t UfsOpen(Vfs* vfs, const char* path, int32_t flags);
+  static int64_t UfsRead(Vfs* vfs, int64_t fd, char* buf, int64_t len);
+  static int64_t UfsWrite(Vfs* vfs, int64_t fd, const char* buf,
+                          int64_t len);
+  static int64_t UfsClose(Vfs* vfs, int64_t fd);
+  static int64_t UfsRemove(Vfs* vfs, const char* path);
+
+  // Guards keeping the base implementation off mounted paths and foreign
+  // fd ranges.
+  static bool BaseOpenGuard(Vfs* vfs, const char* path, int32_t flags);
+  static bool BaseReadGuard(Vfs* vfs, int64_t fd, char* buf, int64_t len);
+  static bool BaseWriteGuard(Vfs* vfs, int64_t fd, const char* buf,
+                             int64_t len);
+  static bool BaseCloseGuard(Vfs* vfs, int64_t fd);
+  static bool BaseRemoveGuard(Vfs* vfs, const char* path);
+
+  struct OpenFile {
+    std::string path;
+    size_t offset = 0;
+    bool open = false;
+  };
+
+  Module module_{"Ufs"};
+  Dispatcher* dispatcher_;
+  std::map<std::string, std::vector<uint8_t>> files_;
+  std::vector<OpenFile> fds_;
+  std::vector<std::string> mounts_;
+  int64_t mount_fd_next_ = 0;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace fs
+}  // namespace spin
+
+#endif  // SRC_FS_VFS_H_

@@ -1,0 +1,71 @@
+// Strands: the kernel's thread abstraction (paper §2.2, Table 3's
+// Strand.Run). A strand is a simulated kernel thread: it owns saved machine
+// state and is driven in quanta by the scheduler; each scheduling decision
+// raises the Strand.Run event exactly as SPIN's scheduler did.
+#ifndef SRC_KERNEL_STRAND_H_
+#define SRC_KERNEL_STRAND_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace spin {
+
+class AddressSpace;
+
+// The saved register state delivered with MachineTrap.Syscall (the paper's
+// MachineCPU.SavedState). Field names follow the Alpha calling convention
+// the paper's Figure 2 dispatches on (ms.v0 holds the syscall number).
+struct SavedState {
+  int64_t v0 = 0;      // syscall number in, primary result out
+  int64_t a[4] = {};   // arguments
+  int64_t result = 0;  // secondary result
+  int64_t error = 0;   // 0 = success
+  uint64_t pc = 0;
+};
+
+enum class StrandState : uint8_t { kReady, kRunning, kBlocked, kDone };
+
+class Strand {
+ public:
+  // A strand's body runs one quantum per call and returns true while the
+  // strand has more work (a cooperative simulation of kernel threads).
+  using StepFn = std::function<bool(Strand&)>;
+
+  Strand(uint64_t id, std::string name, StepFn step, AddressSpace* space)
+      : id_(id), name_(std::move(name)), step_(std::move(step)),
+        space_(space) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  AddressSpace* space() const { return space_; }
+  StrandState state() const { return state_; }
+  void set_state(StrandState state) { state_ = state; }
+
+  SavedState& saved_state() { return saved_; }
+  const SavedState& saved_state() const { return saved_; }
+
+  uint64_t quanta_run() const { return quanta_; }
+
+  bool RunQuantum() {
+    ++quanta_;
+    return step_(*this);
+  }
+
+  // The saved machine register file (context-switch cost model).
+  void* register_file() { return regfile_; }
+
+ private:
+  alignas(16) uint8_t regfile_[512] = {};
+  uint64_t id_;
+  std::string name_;
+  StepFn step_;
+  AddressSpace* space_;
+  StrandState state_ = StrandState::kReady;
+  SavedState saved_;
+  uint64_t quanta_ = 0;
+};
+
+}  // namespace spin
+
+#endif  // SRC_KERNEL_STRAND_H_

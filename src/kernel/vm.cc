@@ -1,0 +1,77 @@
+#include "src/kernel/vm.h"
+
+namespace spin {
+
+Vm::Vm(Dispatcher* dispatcher)
+    : PageFault("VM.PageFault", &module_, nullptr, dispatcher),
+      SelectVictim("VM.SelectVictim", &module_, nullptr, dispatcher),
+      dispatcher_(dispatcher) {
+  dispatcher_->SetResultPolicy(PageFault, ResultPolicy::kOr, &module_);
+  dispatcher_->InstallDefaultHandler(PageFault, &Vm::DefaultPager, this,
+                                     {.module = &module_});
+  fifo_binding_ = dispatcher_->InstallHandler(SelectVictim, &Vm::FifoPolicy,
+                                              this, {.module = &module_});
+  // With no policy installed at all (e.g. mid-replacement), refuse to
+  // evict rather than crash the fault path.
+  dispatcher_->InstallDefaultHandler(
+      SelectVictim,
+      +[](AddressSpace*) -> int64_t {
+        return static_cast<int64_t>(AddressSpace::kNoVpn);
+      },
+      {.module = &module_});
+}
+
+int64_t Vm::FifoPolicy(Vm* vm, AddressSpace* space) {
+  (void)vm;
+  return static_cast<int64_t>(space->FifoVictim());
+}
+
+void Vm::EnforceResidency(AddressSpace& space) {
+  if (resident_limit_ == 0) {
+    return;
+  }
+  while (space.resident_pages() >= resident_limit_) {
+    auto victim = static_cast<uint64_t>(SelectVictim.Raise(&space));
+    if (victim == AddressSpace::kNoVpn) {
+      return;  // the policy refused; allow the space to exceed its limit
+    }
+    space.Unmap(victim * kPageSize);
+    ++evictions_;
+  }
+}
+
+bool Vm::DefaultPager(Vm* vm, AddressSpace* space, uint64_t addr,
+                      int32_t access) {
+  ++vm->default_paged_;
+  space->MapZeroPage(addr, kAccessRead | kAccessWrite);
+  (void)access;
+  return true;
+}
+
+bool Vm::Access(AddressSpace& space, uint64_t addr, int32_t access) {
+  if (space.IsMapped(addr, access)) {
+    return true;
+  }
+  EnforceResidency(space);
+  ++faults_;
+  bool accessible = PageFault.Raise(&space, addr, access);
+  return accessible && space.IsMapped(addr, access);
+}
+
+bool Vm::Read(AddressSpace& space, uint64_t addr, uint8_t* out) {
+  if (!Access(space, addr, kAccessRead)) {
+    return false;
+  }
+  *out = space.FrameFor(addr)[addr % kPageSize];
+  return true;
+}
+
+bool Vm::Write(AddressSpace& space, uint64_t addr, uint8_t value) {
+  if (!Access(space, addr, kAccessWrite)) {
+    return false;
+  }
+  space.FrameFor(addr)[addr % kPageSize] = value;
+  return true;
+}
+
+}  // namespace spin

@@ -1,0 +1,161 @@
+// Virtual memory substrate: address spaces, a software page table, and the
+// VM.PageFault event (§2.3 "Handling results"):
+//
+//   "the system defines a VM.PageFault event, which is raised on any page
+//    fault. Its return value is a boolean indicating whether the page is
+//    accessible. If the page is inaccessible, the VM system crashes the
+//    application. The default handler for this event relies on a trusted
+//    default paging service provided by VM. The result handler for this
+//    event returns the logical-or of all the handler results."
+#ifndef SRC_KERNEL_VM_H_
+#define SRC_KERNEL_VM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/dispatcher.h"
+
+namespace spin {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr int32_t kAccessRead = 1;
+inline constexpr int32_t kAccessWrite = 2;
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(uint64_t id) : id_(id) {}
+
+  uint64_t id() const { return id_; }
+
+  bool IsMapped(uint64_t addr, int32_t access) const {
+    auto it = pages_.find(addr / kPageSize);
+    return it != pages_.end() && (it->second.prot & access) == access;
+  }
+
+  // Maps a zero-filled page covering `addr` with protection `prot`.
+  void MapZeroPage(uint64_t addr, int32_t prot) {
+    Page& page = pages_[addr / kPageSize];
+    if (page.frame == nullptr) {
+      page.frame = std::make_unique<uint8_t[]>(kPageSize);
+      page.mapped_at = ++clock_;
+    }
+    page.prot = prot;
+    page.last_access = ++clock_;
+  }
+
+  void Unmap(uint64_t addr) { pages_.erase(addr / kPageSize); }
+  void SetProtection(uint64_t addr, int32_t prot) {
+    auto it = pages_.find(addr / kPageSize);
+    if (it != pages_.end()) {
+      it->second.prot = prot;
+    }
+  }
+
+  // Direct frame access for mapped pages (nullptr when unmapped).
+  // Advances the access clock the replacement policies consult.
+  uint8_t* FrameFor(uint64_t addr) {
+    auto it = pages_.find(addr / kPageSize);
+    if (it == pages_.end()) {
+      return nullptr;
+    }
+    it->second.last_access = ++clock_;
+    return it->second.frame.get();
+  }
+
+  size_t resident_pages() const { return pages_.size(); }
+
+  // Replacement-policy queries (kNoVpn when empty): the resident page
+  // mapped earliest (FIFO) and the one touched least recently (LRU).
+  static constexpr uint64_t kNoVpn = ~0ull;
+  uint64_t FifoVictim() const {
+    uint64_t vpn = kNoVpn;
+    uint64_t oldest = ~0ull;
+    for (const auto& [page_vpn, page] : pages_) {
+      if (page.mapped_at < oldest) {
+        oldest = page.mapped_at;
+        vpn = page_vpn;
+      }
+    }
+    return vpn;
+  }
+  uint64_t LruVictim() const {
+    uint64_t vpn = kNoVpn;
+    uint64_t least = ~0ull;
+    for (const auto& [page_vpn, page] : pages_) {
+      if (page.last_access < least) {
+        least = page.last_access;
+        vpn = page_vpn;
+      }
+    }
+    return vpn;
+  }
+
+ private:
+  struct Page {
+    std::unique_ptr<uint8_t[]> frame;
+    int32_t prot = 0;
+    uint64_t mapped_at = 0;
+    uint64_t last_access = 0;
+  };
+  uint64_t id_;
+  uint64_t clock_ = 0;
+  std::unordered_map<uint64_t, Page> pages_;
+};
+
+// The VM module: owns the PageFault event and the trusted default pager.
+class Vm {
+ public:
+  explicit Vm(Dispatcher* dispatcher);
+
+  // Raised on any fault; logical-or result policy; default handler = the
+  // trusted pager (demand-zero).
+  Event<bool(AddressSpace*, uint64_t, int32_t)> PageFault;
+
+  // Raised when a space exceeds its resident limit; returns the victim
+  // vpn (or AddressSpace::kNoVpn to refuse). The FIFO policy handler is
+  // installed by VM; an extension replaces the paging policy (§1) by
+  // uninstalling it and installing its own — see the LRU test/example.
+  Event<int64_t(AddressSpace*)> SelectVictim;
+
+  // Memory pressure: spaces may hold at most `pages` resident pages
+  // (0 = unlimited). Exceeding it triggers SelectVictim + eviction.
+  void SetResidentLimit(size_t pages) { resident_limit_ = pages; }
+  size_t resident_limit() const { return resident_limit_; }
+  uint64_t eviction_count() const { return evictions_; }
+
+  // The FIFO policy binding (for replacement by extensions).
+  const BindingHandle& fifo_policy_binding() const { return fifo_binding_; }
+
+  // Performs a memory access. Returns false when the fault could not be
+  // resolved (the paper's "VM system crashes the application" case, decided
+  // by the caller — typically the kernel killing the strand).
+  bool Access(AddressSpace& space, uint64_t addr, int32_t access);
+
+  // Byte accessors used by workloads; they fault pages in on demand.
+  bool Read(AddressSpace& space, uint64_t addr, uint8_t* out);
+  bool Write(AddressSpace& space, uint64_t addr, uint8_t value);
+
+  const Module& module() const { return module_; }
+  uint64_t fault_count() const { return faults_; }
+  uint64_t default_pager_count() const { return default_paged_; }
+
+ private:
+  static bool DefaultPager(Vm* vm, AddressSpace* space, uint64_t addr,
+                           int32_t access);
+  static int64_t FifoPolicy(Vm* vm, AddressSpace* space);
+  void EnforceResidency(AddressSpace& space);
+
+  Module module_{"VM"};
+  Dispatcher* dispatcher_;
+  BindingHandle fifo_binding_;
+  size_t resident_limit_ = 0;
+  uint64_t faults_ = 0;
+  uint64_t default_paged_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace spin
+
+#endif  // SRC_KERNEL_VM_H_

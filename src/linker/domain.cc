@@ -1,0 +1,123 @@
+#include "src/linker/domain.h"
+
+#include <algorithm>
+
+namespace spin {
+
+const char* LinkStatusName(LinkStatus status) {
+  switch (status) {
+    case LinkStatus::kOk:
+      return "ok";
+    case LinkStatus::kUnresolved:
+      return "unresolved imports remain";
+    case LinkStatus::kDuplicateExport:
+      return "duplicate export";
+    case LinkStatus::kSymbolTypeMismatch:
+      return "symbol type mismatch";
+    case LinkStatus::kLinkDenied:
+      return "link denied by exporter's authorizer";
+    case LinkStatus::kUnknownSymbol:
+      return "unknown symbol";
+  }
+  return "<bad>";
+}
+
+void Domain::AddExport(Symbol symbol) {
+  auto [it, inserted] = exports_.try_emplace(symbol.name, std::move(symbol));
+  if (!inserted) {
+    throw LinkError(LinkStatus::kDuplicateExport, it->first);
+  }
+}
+
+void Domain::Resolve(const Domain& exporter, void* credentials) {
+  for (Import& import : imports_) {
+    if (import.resolved != nullptr) {
+      continue;
+    }
+    auto it = exporter.exports_.find(import.name);
+    if (it == exporter.exports_.end()) {
+      continue;  // may resolve against a later domain
+    }
+    const Symbol& symbol = it->second;
+    // Authorization precedes type disclosure: a denied importer learns
+    // nothing about the symbol.
+    if (exporter.authorizer_ != nullptr) {
+      LinkRequest request{this, module_, &symbol, credentials};
+      if (!exporter.authorizer_(request, exporter.authorizer_ctx_)) {
+        throw LinkError(LinkStatus::kLinkDenied,
+                        name_ + " -> " + exporter.name_ + ":" + import.name);
+      }
+    }
+    if (symbol.kind != import.kind ||
+        (import.kind != SymbolKind::kData &&
+         !symbol.sig.SameShape(import.sig))) {
+      throw LinkError(LinkStatus::kSymbolTypeMismatch, import.name);
+    }
+    import.resolved = &symbol;
+  }
+}
+
+void Domain::Combine(const Domain& other) {
+  for (const auto& [name, symbol] : other.exports_) {
+    AddExport(symbol);
+  }
+}
+
+bool Domain::fully_resolved() const {
+  return std::all_of(imports_.begin(), imports_.end(),
+                     [](const Import& i) { return i.resolved != nullptr; });
+}
+
+std::vector<std::string> Domain::UnresolvedImports() const {
+  std::vector<std::string> names;
+  for (const Import& import : imports_) {
+    if (import.resolved == nullptr) {
+      names.push_back(import.name);
+    }
+  }
+  return names;
+}
+
+const Symbol* Domain::FindResolved(const std::string& symbol,
+                                   SymbolKind kind) const {
+  for (const Import& import : imports_) {
+    if (import.name == symbol && import.resolved != nullptr) {
+      if (import.kind != kind) {
+        throw LinkError(LinkStatus::kSymbolTypeMismatch, symbol);
+      }
+      return import.resolved;
+    }
+  }
+  throw LinkError(LinkStatus::kUnknownSymbol, symbol);
+}
+
+Domain& Linker::CreateDomain(const std::string& name, const Module* module) {
+  domains_.push_back(std::make_unique<Domain>(name, module));
+  return *domains_.back();
+}
+
+Domain* Linker::Find(const std::string& name) {
+  for (const auto& domain : domains_) {
+    if (domain->name() == name) {
+      return domain.get();
+    }
+  }
+  return nullptr;
+}
+
+void Linker::LinkAgainstAll(Domain& importer, void* credentials) {
+  for (const auto& domain : domains_) {
+    if (domain.get() != &importer) {
+      importer.Resolve(*domain, credentials);
+    }
+  }
+  if (!importer.fully_resolved()) {
+    std::string detail = importer.name() + " missing:";
+    for (const std::string& name : importer.UnresolvedImports()) {
+      detail += " " + name;
+    }
+    throw LinkError(LinkStatus::kUnresolved, detail);
+  }
+}
+
+}  // namespace spin

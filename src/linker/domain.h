@@ -1,0 +1,216 @@
+// Safe in-kernel dynamic linking (the Sirer et al. 96 substrate; paper §2).
+//
+// "First, the extension's code is dynamically linked into the operating
+// system kernel. The dynamic linker resolves all outstanding unresolved
+// references in the extension code against a collection of interfaces
+// explicitly exported by the system." Linking is the first line of access
+// control (§2.5): a domain's link authorizer can deny resolution, which
+// "prevents the requester from accessing any of the symbols, and hence
+// events, exported by any of the modules governed by the authorizer."
+//
+// A Domain is a set of typed exported symbols (procedures, events, data)
+// plus a set of typed unresolved imports. Resolve() matches imports against
+// another domain's exports with full signature checking. Combine() forms
+// aggregate namespaces, mirroring SPIN's Domain.Combine.
+#ifndef SRC_LINKER_DOMAIN_H_
+#define SRC_LINKER_DOMAIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/dispatcher.h"
+#include "src/types/module.h"
+#include "src/types/signature.h"
+
+namespace spin {
+
+enum class SymbolKind : uint8_t { kProcedure, kEvent, kData };
+
+struct Symbol {
+  std::string name;
+  SymbolKind kind = SymbolKind::kProcedure;
+  void* address = nullptr;      // procedure entry or data pointer
+  EventBase* event = nullptr;   // kEvent
+  ProcSig sig;                  // kProcedure / kEvent signature
+  size_t data_size = 0;         // kData
+  const Module* exporter = nullptr;
+};
+
+enum class LinkStatus {
+  kOk,
+  kUnresolved,
+  kDuplicateExport,
+  kSymbolTypeMismatch,
+  kLinkDenied,
+  kUnknownSymbol,
+};
+
+const char* LinkStatusName(LinkStatus status);
+
+class LinkError : public std::runtime_error {
+ public:
+  LinkError(LinkStatus status, const std::string& detail)
+      : std::runtime_error(std::string(LinkStatusName(status)) + ": " +
+                           detail),
+        status_(status) {}
+  LinkStatus status() const { return status_; }
+
+ private:
+  LinkStatus status_;
+};
+
+struct LinkRequest {
+  const class Domain* importer = nullptr;
+  const Module* requestor = nullptr;
+  const Symbol* symbol = nullptr;  // the export being resolved
+  void* credentials = nullptr;
+};
+
+using LinkAuthorizer = bool (*)(const LinkRequest& request, void* ctx);
+
+class Domain {
+ public:
+  Domain(std::string name, const Module* module)
+      : name_(std::move(name)), module_(module) {}
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Module* module() const { return module_; }
+
+  // --- Export side ------------------------------------------------------
+
+  template <typename R, typename... A>
+  void ExportProcedure(const std::string& symbol, R (*fn)(A...)) {
+    AddExport(Symbol{symbol, SymbolKind::kProcedure,
+                     reinterpret_cast<void*>(fn), nullptr,
+                     MakeProcSig<R(A...)>(), 0, module_});
+  }
+
+  void ExportEvent(EventBase& event) {
+    AddExport(Symbol{event.name(), SymbolKind::kEvent, nullptr, &event,
+                     event.sig(), 0, module_});
+  }
+
+  void ExportData(const std::string& symbol, void* ptr, size_t size) {
+    AddExport(Symbol{symbol, SymbolKind::kData, ptr, nullptr, ProcSig{},
+                     size, module_});
+  }
+
+  // Authorizer consulted once per importer domain on first resolution
+  // against this domain; denial blocks every symbol (§2.5).
+  void SetLinkAuthorizer(LinkAuthorizer authorizer, void* ctx) {
+    authorizer_ = authorizer;
+    authorizer_ctx_ = ctx;
+  }
+
+  // --- Import side ------------------------------------------------------
+
+  template <typename R, typename... A>
+  void ImportProcedure(const std::string& symbol) {
+    imports_.push_back(Import{symbol, SymbolKind::kProcedure,
+                              MakeProcSig<R(A...)>(), nullptr});
+  }
+
+  template <typename Sig>
+  void ImportEvent(const std::string& symbol) {
+    imports_.push_back(
+        Import{symbol, SymbolKind::kEvent, MakeProcSig<Sig>(), nullptr});
+  }
+
+  void ImportData(const std::string& symbol) {
+    imports_.push_back(Import{symbol, SymbolKind::kData, ProcSig{}, nullptr});
+  }
+
+  // Resolves as many outstanding imports as possible against `exporter`.
+  // Throws LinkError on denial or signature mismatch; silently leaves
+  // imports that `exporter` does not provide (they may resolve against a
+  // later domain, as in SPIN's incremental linking).
+  void Resolve(const Domain& exporter, void* credentials = nullptr);
+
+  // Aggregates another domain's exports into this one (Domain.Combine).
+  // Duplicate names throw kDuplicateExport.
+  void Combine(const Domain& other);
+
+  bool fully_resolved() const;
+  std::vector<std::string> UnresolvedImports() const;
+
+  // --- Symbol access (post-link) -----------------------------------------
+
+  // Typed lookup of a resolved procedure import. Signature re-checked.
+  template <typename R, typename... A>
+  auto GetProcedure(const std::string& symbol) const -> R (*)(A...) {
+    const Symbol* s = FindResolved(symbol, SymbolKind::kProcedure);
+    if (!(s->sig.SameShape(MakeProcSig<R(A...)>()))) {
+      throw LinkError(LinkStatus::kSymbolTypeMismatch, symbol);
+    }
+    return reinterpret_cast<R (*)(A...)>(s->address);
+  }
+
+  // Typed lookup of a resolved event import.
+  template <typename Sig>
+  Event<Sig>* GetEvent(const std::string& symbol) const {
+    const Symbol* s = FindResolved(symbol, SymbolKind::kEvent);
+    if (!(s->sig.SameShape(MakeProcSig<Sig>()))) {
+      throw LinkError(LinkStatus::kSymbolTypeMismatch, symbol);
+    }
+    return static_cast<Event<Sig>*>(s->event);
+  }
+
+  void* GetData(const std::string& symbol, size_t* size = nullptr) const {
+    const Symbol* s = FindResolved(symbol, SymbolKind::kData);
+    if (size != nullptr) {
+      *size = s->data_size;
+    }
+    return s->address;
+  }
+
+  const std::unordered_map<std::string, Symbol>& exports() const {
+    return exports_;
+  }
+
+ private:
+  struct Import {
+    std::string name;
+    SymbolKind kind;
+    ProcSig sig;
+    const Symbol* resolved;  // points into the exporter's symbol table
+  };
+
+  void AddExport(Symbol symbol);
+  const Symbol* FindResolved(const std::string& symbol,
+                             SymbolKind kind) const;
+
+  std::string name_;
+  const Module* module_;
+  std::unordered_map<std::string, Symbol> exports_;
+  std::vector<Import> imports_;
+  LinkAuthorizer authorizer_ = nullptr;
+  void* authorizer_ctx_ = nullptr;
+};
+
+// The kernel's linker: a registry of named domains plus the two-phase
+// extension loading protocol of §2 (link, then let the extension install
+// handlers through the resolved events).
+class Linker {
+ public:
+  Domain& CreateDomain(const std::string& name, const Module* module);
+  Domain* Find(const std::string& name);
+
+  // Resolves `importer` against every registered domain (in registration
+  // order), as SPIN's kernel namespace did.
+  void LinkAgainstAll(Domain& importer, void* credentials = nullptr);
+
+  size_t domain_count() const { return domains_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Domain>> domains_;
+};
+
+}  // namespace spin
+
+#endif  // SRC_LINKER_DOMAIN_H_

@@ -1,0 +1,129 @@
+#include "src/micro/interp.h"
+
+#include <cstring>
+
+#include "src/rt/panic.h"
+
+namespace spin {
+namespace micro {
+namespace {
+
+uint64_t LoadWidth(const void* addr, int width_exp) {
+  uint64_t out = 0;
+  std::memcpy(&out, addr, size_t{1} << width_exp);
+  return out;  // little-endian zero-extension
+}
+
+void StoreWidth(void* addr, uint64_t value, int width_exp) {
+  std::memcpy(addr, &value, size_t{1} << width_exp);
+}
+
+}  // namespace
+
+uint64_t Run(const Program& program, const uint64_t* args, int num_args) {
+  uint64_t r[kNumRegs] = {};
+  const std::vector<Insn>& code = program.code();
+  SPIN_DCHECK(num_args >= program.num_args());
+  (void)num_args;
+  size_t pc = 0;
+  while (pc < code.size()) {
+    const Insn& insn = code[pc];
+    switch (insn.op) {
+      case Op::kLoadArg:
+        r[insn.dst] = args[insn.imm];
+        break;
+      case Op::kLoadImm:
+        r[insn.dst] = insn.imm;
+        break;
+      case Op::kLoadGlobal:
+        r[insn.dst] = LoadWidth(
+            reinterpret_cast<const void*>(static_cast<uintptr_t>(insn.imm)),
+            insn.b);
+        break;
+      case Op::kLoadField:
+        r[insn.dst] = LoadWidth(
+            reinterpret_cast<const void*>(
+                static_cast<uintptr_t>(r[insn.a] + insn.imm)),
+            insn.b);
+        break;
+      case Op::kStoreGlobal:
+        StoreWidth(reinterpret_cast<void*>(static_cast<uintptr_t>(insn.imm)),
+                   r[insn.a], insn.b);
+        break;
+      case Op::kStoreField:
+        StoreWidth(reinterpret_cast<void*>(
+                       static_cast<uintptr_t>(r[insn.a] + insn.imm)),
+                   r[insn.b], insn.dst);
+        break;
+      case Op::kMov:
+        r[insn.dst] = r[insn.a];
+        break;
+      case Op::kAdd:
+        r[insn.dst] = r[insn.a] + r[insn.b];
+        break;
+      case Op::kSub:
+        r[insn.dst] = r[insn.a] - r[insn.b];
+        break;
+      case Op::kAnd:
+        r[insn.dst] = r[insn.a] & r[insn.b];
+        break;
+      case Op::kOr:
+        r[insn.dst] = r[insn.a] | r[insn.b];
+        break;
+      case Op::kXor:
+        r[insn.dst] = r[insn.a] ^ r[insn.b];
+        break;
+      case Op::kShlImm:
+        r[insn.dst] = r[insn.a] << insn.imm;
+        break;
+      case Op::kShrImm:
+        r[insn.dst] = r[insn.a] >> insn.imm;
+        break;
+      case Op::kCmpEq:
+        r[insn.dst] = r[insn.a] == r[insn.b] ? 1 : 0;
+        break;
+      case Op::kCmpNe:
+        r[insn.dst] = r[insn.a] != r[insn.b] ? 1 : 0;
+        break;
+      case Op::kCmpLtU:
+        r[insn.dst] = r[insn.a] < r[insn.b] ? 1 : 0;
+        break;
+      case Op::kCmpLeU:
+        r[insn.dst] = r[insn.a] <= r[insn.b] ? 1 : 0;
+        break;
+      case Op::kCmpLtS:
+        r[insn.dst] = static_cast<int64_t>(r[insn.a]) <
+                              static_cast<int64_t>(r[insn.b])
+                          ? 1
+                          : 0;
+        break;
+      case Op::kCmpLeS:
+        r[insn.dst] = static_cast<int64_t>(r[insn.a]) <=
+                              static_cast<int64_t>(r[insn.b])
+                          ? 1
+                          : 0;
+        break;
+      case Op::kNot:
+        r[insn.dst] = r[insn.a] == 0 ? 1 : 0;
+        break;
+      case Op::kJz:
+        if (r[insn.a] == 0) {
+          pc = insn.imm;
+          continue;
+        }
+        break;
+      case Op::kJmp:
+        pc = insn.imm;
+        continue;
+      case Op::kRet:
+        return r[insn.a];
+      case Op::kRetImm:
+        return insn.imm;
+    }
+    ++pc;
+  }
+  SPIN_PANIC("micro program fell off the end (validator missed it)");
+}
+
+}  // namespace micro
+}  // namespace spin

@@ -1,0 +1,24 @@
+// Micro-program interpreter: the portable execution path.
+//
+// Identical semantics to the JIT lowering in src/codegen/; the property
+// tests in tests/codegen_jit_test.cc check the two agree on randomized
+// programs.
+#ifndef SRC_MICRO_INTERP_H_
+#define SRC_MICRO_INTERP_H_
+
+#include <cstdint>
+
+#include "src/micro/program.h"
+
+namespace spin {
+namespace micro {
+
+// Executes a validated program against `args[0..num_args)`. The caller must
+// have run Validate(); Run assumes well-formedness (per SPIN's model where
+// installation, not dispatch, is the checked boundary).
+uint64_t Run(const Program& program, const uint64_t* args, int num_args);
+
+}  // namespace micro
+}  // namespace spin
+
+#endif  // SRC_MICRO_INTERP_H_

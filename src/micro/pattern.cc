@@ -1,0 +1,76 @@
+#include "src/micro/pattern.h"
+
+namespace spin {
+namespace micro {
+
+bool MatchFieldEq(const Program& prog, FieldEqPattern* out) {
+  const std::vector<Insn>& code = prog.code();
+  // Two accepted shapes:
+  //   5 insns: LoadArg, LoadField, LoadImm, CmpEq, Ret        (mask = ~0)
+  //   7 insns: LoadArg, LoadField, LoadImm, And, LoadImm, CmpEq, Ret
+  bool masked;
+  if (code.size() == 5) {
+    masked = false;
+  } else if (code.size() == 7) {
+    masked = true;
+  } else {
+    return false;
+  }
+
+  const Insn& load_arg = code[0];
+  const Insn& load_field = code[1];
+  if (load_arg.op != Op::kLoadArg || load_field.op != Op::kLoadField ||
+      load_field.a != load_arg.dst) {
+    return false;
+  }
+
+  uint8_t field_reg = load_field.dst;
+  uint64_t mask = ~0ull;
+  size_t next = 2;
+  if (masked) {
+    const Insn& mask_imm = code[2];
+    const Insn& and_insn = code[3];
+    if (mask_imm.op != Op::kLoadImm || and_insn.op != Op::kAnd) {
+      return false;
+    }
+    // field &= mask, in either operand order.
+    bool ordered = and_insn.a == field_reg && and_insn.b == mask_imm.dst;
+    bool swapped = and_insn.b == field_reg && and_insn.a == mask_imm.dst;
+    if (!ordered && !swapped) {
+      return false;
+    }
+    mask = mask_imm.imm;
+    field_reg = and_insn.dst;
+    next = 4;
+  }
+
+  const Insn& value_imm = code[next];
+  const Insn& cmp = code[next + 1];
+  const Insn& ret = code[next + 2];
+  if (value_imm.op != Op::kLoadImm || cmp.op != Op::kCmpEq ||
+      ret.op != Op::kRet || ret.a != cmp.dst) {
+    return false;
+  }
+  bool ordered = cmp.a == field_reg && cmp.b == value_imm.dst;
+  bool swapped = cmp.b == field_reg && cmp.a == value_imm.dst;
+  if (!ordered && !swapped) {
+    return false;
+  }
+  // The immediate register must not alias the field register (the compare
+  // would then be trivially true/false rather than a field test).
+  if (value_imm.dst == field_reg) {
+    return false;
+  }
+
+  if (out != nullptr) {
+    out->arg = static_cast<int>(load_arg.imm);
+    out->offset = load_field.imm;
+    out->width = static_cast<uint8_t>(1u << load_field.b);
+    out->mask = mask;
+    out->value = value_imm.imm;
+  }
+  return true;
+}
+
+}  // namespace micro
+}  // namespace spin

@@ -1,0 +1,45 @@
+// Canonical-guard pattern matching.
+//
+// §3.2: "we presently do not optimize the guard decision tree, which would
+// be effective for the port comparison required by this example. We are
+// currently working on a strategy by which this type of guard optimization
+// can be easily expressed." This module is that strategy: guards expressed
+// as micro-programs are analyzable, so the dispatcher can recognize the
+// demultiplexing shape
+//     (load(args[arg] + offset, width) & mask) == value
+// and compile a group of such guards into a decision tree (see
+// codegen::StubTree) instead of a linear evaluation chain.
+#ifndef SRC_MICRO_PATTERN_H_
+#define SRC_MICRO_PATTERN_H_
+
+#include <cstdint>
+
+#include "src/micro/program.h"
+
+namespace spin {
+namespace micro {
+
+struct FieldEqPattern {
+  int arg = 0;            // which event argument holds the base pointer
+  uint64_t offset = 0;    // byte offset of the field
+  uint8_t width = 0;      // field width in bytes (1, 2, 4, 8)
+  uint64_t mask = ~0ull;  // applied after the (zero-extended) load
+  uint64_t value = 0;     // comparison constant
+
+  // True when two patterns discriminate on the same field (everything but
+  // the value agrees) — the grouping condition for tree construction.
+  bool SameField(const FieldEqPattern& other) const {
+    return arg == other.arg && offset == other.offset &&
+           width == other.width && mask == other.mask;
+  }
+};
+
+// Structurally matches `prog` against the canonical field-equality shape
+// (the GuardArgFieldEq family, register-agnostic but dataflow-exact).
+// Returns true and fills `out` on a match.
+bool MatchFieldEq(const Program& prog, FieldEqPattern* out);
+
+}  // namespace micro
+}  // namespace spin
+
+#endif  // SRC_MICRO_PATTERN_H_

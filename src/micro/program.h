@@ -1,0 +1,186 @@
+// Micro-programs: a tiny register IR for inlinable guards and handlers.
+//
+// The paper's dispatcher "inline[s] the code of small guards and handlers
+// directly into the dispatch routine" (§3). In SPIN the code generator read
+// the compiled Modula-3 body; here, a guard or handler that wants to be
+// inlinable supplies its body as a micro-program. The dispatcher can then
+//   - interpret it (portable slow path),
+//   - lower it into the generated dispatch stub (x86-64 JIT), or
+//   - reason about it (purity verification, cost estimation for guard
+//     short-circuiting).
+//
+// Guards must be FUNCTIONAL: the validator rejects store instructions in
+// programs built as functional, reproducing the compiler-verified property
+// of §2.3. Control flow is forward-only, so every micro-program terminates;
+// runaway-handler concerns (§2.6) only arise for native handlers.
+#ifndef SRC_MICRO_PROGRAM_H_
+#define SRC_MICRO_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spin {
+namespace micro {
+
+inline constexpr int kNumRegs = 8;
+inline constexpr int kMaxArgs = 8;
+
+enum class Op : uint8_t {
+  kLoadArg,     // r[dst] = args[imm]
+  kLoadImm,     // r[dst] = imm
+  kLoadGlobal,  // r[dst] = zero-extended load of width (1<<b) from address imm
+  kLoadField,   // r[dst] = zero-extended load of width (1<<b) from r[a] + imm
+  kStoreGlobal, // store low (1<<b) bytes of r[a] to address imm
+  kStoreField,  // store low (1<<b) bytes of r[b] to r[a] + imm
+  kMov,         // r[dst] = r[a]
+  kAdd,         // r[dst] = r[a] + r[b]
+  kSub,         // r[dst] = r[a] - r[b]
+  kAnd,         // r[dst] = r[a] & r[b]
+  kOr,          // r[dst] = r[a] | r[b]
+  kXor,         // r[dst] = r[a] ^ r[b]
+  kShlImm,      // r[dst] = r[a] << imm      (imm < 64)
+  kShrImm,      // r[dst] = r[a] >> imm      (logical, imm < 64)
+  kCmpEq,       // r[dst] = r[a] == r[b]
+  kCmpNe,       // r[dst] = r[a] != r[b]
+  kCmpLtU,      // r[dst] = r[a] <  r[b] (unsigned)
+  kCmpLeU,      // r[dst] = r[a] <= r[b] (unsigned)
+  kCmpLtS,      // r[dst] = (int64)r[a] <  (int64)r[b]
+  kCmpLeS,      // r[dst] = (int64)r[a] <= (int64)r[b]
+  kNot,         // r[dst] = (r[a] == 0)
+  kJz,          // if r[a] == 0, jump forward to index imm
+  kJmp,         // jump forward to index imm
+  kRet,         // return r[a]
+  kRetImm,      // return imm
+};
+
+const char* OpName(Op op);
+
+struct Insn {
+  Op op;
+  uint8_t dst = 0;
+  uint8_t a = 0;
+  uint8_t b = 0;
+  uint64_t imm = 0;
+};
+
+enum class ValidateStatus {
+  kOk,
+  kEmpty,
+  kBadRegister,
+  kBadArgIndex,
+  kBadWidth,
+  kBadShift,
+  kBackwardJump,
+  kJumpOutOfRange,
+  kMissingTerminator,
+  kImpureFunctional,  // store in a FUNCTIONAL program
+};
+
+const char* ValidateStatusName(ValidateStatus status);
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<Insn> code, int num_args, bool functional);
+
+  const std::vector<Insn>& code() const { return code_; }
+  int num_args() const { return num_args_; }
+  bool functional() const { return functional_; }
+  bool empty() const { return code_.empty(); }
+
+  // Structural + attribute validation; must return kOk before the program
+  // may be installed on an event.
+  ValidateStatus Validate() const;
+
+  // Static instruction count; the dispatcher uses it to order inlined guards
+  // cheapest-first (guard short-circuiting, §2.3).
+  size_t Cost() const { return code_.size(); }
+
+  // Bitmask of virtual registers that may be read before being written.
+  // Register semantics are "zero at entry"; the interpreter zeroes its whole
+  // register file, and the JIT zeroes exactly this set.
+  uint8_t UndefinedReads() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Insn> code_;
+  int num_args_ = 0;
+  bool functional_ = false;
+};
+
+// Fluent builder. Example (the Table 1 guard — compare a global to a
+// constant and return true):
+//   Program p = ProgramBuilder(/*num_args=*/0, /*functional=*/true)
+//                   .LoadGlobal(0, &g_state, 8)
+//                   .LoadImm(1, kExpected)
+//                   .CmpEq(2, 0, 1)
+//                   .Ret(2)
+//                   .Build();
+class ProgramBuilder {
+ public:
+  ProgramBuilder(int num_args, bool functional)
+      : num_args_(num_args), functional_(functional) {}
+
+  ProgramBuilder& LoadArg(int dst, int arg);
+  ProgramBuilder& LoadImm(int dst, uint64_t imm);
+  ProgramBuilder& LoadGlobal(int dst, const void* addr, int width = 8);
+  ProgramBuilder& LoadField(int dst, int base, uint64_t offset, int width = 8);
+  ProgramBuilder& StoreGlobal(const void* addr, int src, int width = 8);
+  ProgramBuilder& StoreField(int base, uint64_t offset, int src,
+                             int width = 8);
+  ProgramBuilder& Mov(int dst, int src);
+  ProgramBuilder& Add(int dst, int a, int b);
+  ProgramBuilder& Sub(int dst, int a, int b);
+  ProgramBuilder& And(int dst, int a, int b);
+  ProgramBuilder& Or(int dst, int a, int b);
+  ProgramBuilder& Xor(int dst, int a, int b);
+  ProgramBuilder& ShlImm(int dst, int a, int amount);
+  ProgramBuilder& ShrImm(int dst, int a, int amount);
+  ProgramBuilder& CmpEq(int dst, int a, int b);
+  ProgramBuilder& CmpNe(int dst, int a, int b);
+  ProgramBuilder& CmpLtU(int dst, int a, int b);
+  ProgramBuilder& CmpLeU(int dst, int a, int b);
+  ProgramBuilder& CmpLtS(int dst, int a, int b);
+  ProgramBuilder& CmpLeS(int dst, int a, int b);
+  ProgramBuilder& Not(int dst, int a);
+  // Returns the index of the emitted jump; patch with PatchJumpTarget.
+  size_t Jz(int a);
+  size_t Jmp();
+  void PatchJumpTarget(size_t jump_index);  // target = next emitted index
+  ProgramBuilder& Ret(int a);
+  ProgramBuilder& RetImm(uint64_t imm);
+
+  Program Build() &&;
+
+ private:
+  ProgramBuilder& Emit(Op op, uint8_t dst, uint8_t a, uint8_t b, uint64_t imm);
+
+  std::vector<Insn> code_;
+  int num_args_;
+  bool functional_;
+};
+
+// --- Canned programs used across benches, tests, and extensions -----------
+
+// Guard: return *addr == value. (Table 1's guard shape.)
+Program GuardGlobalEq(const uint64_t* addr, uint64_t value);
+
+// Guard: return masked field of pointer argument `arg` equals value:
+//   return (Load(args[arg] + offset, width) & mask) == value
+// (the packet-header discrimination shape of §3.2 / Table 2).
+Program GuardArgFieldEq(int num_args, int arg, uint64_t offset, int width,
+                        uint64_t mask, uint64_t value);
+
+// Guard or handler: return constant (empty handler of Table 1 when value
+// is ignored; "evaluate to false" guards of Table 2 when value==0).
+Program ReturnConst(int num_args, uint64_t value, bool functional);
+
+// Handler: *addr += 1; return 0. Deliberately impure.
+Program IncrementGlobal(uint64_t* addr, int num_args);
+
+}  // namespace micro
+}  // namespace spin
+
+#endif  // SRC_MICRO_PROGRAM_H_

@@ -1,0 +1,182 @@
+#include "src/net/host.h"
+
+#include "src/rt/panic.h"
+
+namespace spin {
+namespace net {
+namespace {
+
+// Demultiplexing guards, expressed as micro-programs so the dispatcher can
+// inline them into the generated dispatch routine.
+micro::Program EtherTypeGuard(uint16_t ether_type) {
+  return micro::GuardArgFieldEq(/*num_args=*/1, /*arg=*/0, kEtherTypeOff,
+                                /*width=*/2, ~0ull,
+                                PortFieldValue(ether_type));
+}
+
+micro::Program IpProtoGuard(uint8_t proto) {
+  return micro::GuardArgFieldEq(/*num_args=*/1, /*arg=*/0, kIpProtoOff,
+                                /*width=*/1, ~0ull, proto);
+}
+
+micro::Program DstPortGuard(uint16_t port) {
+  return micro::GuardArgFieldEq(/*num_args=*/1, /*arg=*/0, kDstPortOff,
+                                /*width=*/2, ~0ull, PortFieldValue(port));
+}
+
+}  // namespace
+
+void Wire::Attach(Host& a, Host& b) {
+  a_ = &a;
+  b_ = &b;
+  a.AttachWire(this);
+  b.AttachWire(this);
+}
+
+void Wire::Send(Host& from, const Packet& packet) {
+  SPIN_ASSERT(a_ != nullptr && b_ != nullptr);
+  Host* to = &from == a_ ? b_ : a_;
+  bytes_ += packet.len;
+  uint64_t start = std::max(sim_->now_ns(), busy_until_ns_);
+  uint64_t done = start + model_.SerializationNs(packet.len);
+  busy_until_ns_ = done;
+  ++frame_count_;
+  if (loss_pattern_ != 0 && frame_count_ % loss_pattern_ == 0) {
+    ++lost_;
+    return;  // the frame burned airtime but never arrives
+  }
+  sim_->At(done + model_.propagation_ns,
+           [to, packet] { to->Receive(packet); });
+}
+
+Host::Host(std::string name, uint32_t ip, Dispatcher* dispatcher)
+    : EtherPacketArrived("Ether.PacketArrived", &module_, nullptr,
+                         dispatcher),
+      IpPacketArrived("Ip.PacketArrived", &module_, nullptr, dispatcher),
+      UdpPacketArrived("Udp.PacketArrived", &module_, nullptr, dispatcher),
+      TcpPacketArrived("Tcp.PacketArrived", &module_, nullptr, dispatcher),
+      EtherPacketSend("Ether.PacketSend", &module_, nullptr, dispatcher),
+      name_(std::move(name)),
+      ip_(ip),
+      dispatcher_(dispatcher),
+      module_("Net." + name_) {
+  for (EventBase* event : std::initializer_list<EventBase*>{
+           &EtherPacketArrived, &IpPacketArrived, &UdpPacketArrived,
+           &TcpPacketArrived}) {
+    dispatcher_->SetResultPolicy(*event, ResultPolicy::kOr, &module_);
+  }
+  // Unconsumed packets are dropped (the default handler fires when no
+  // guard admits the packet).
+  dispatcher_->InstallDefaultHandler(EtherPacketArrived, &Host::Drop, this,
+                                     {.module = &module_});
+  dispatcher_->InstallDefaultHandler(IpPacketArrived, &Host::Drop, this,
+                                     {.module = &module_});
+  dispatcher_->InstallDefaultHandler(UdpPacketArrived, &Host::Drop, this,
+                                     {.module = &module_});
+  dispatcher_->InstallDefaultHandler(TcpPacketArrived, &Host::Drop, this,
+                                     {.module = &module_});
+
+  // The outbound path: the wire-transmit handler plays the intrinsic role
+  // (ordered Last so interposed transforms run before it). If a guard
+  // imposed on the transmit binding rejects the frame (an outbound
+  // firewall) nothing fires and the default handler counts the drop.
+  dispatcher_->SetResultPolicy(EtherPacketSend, ResultPolicy::kAnd,
+                               &module_);
+  dispatcher_->InstallDefaultHandler(EtherPacketSend, &Host::DropOutbound,
+                                     this, {.module = &module_});
+  transmit_binding_ = dispatcher_->InstallHandler(
+      EtherPacketSend, &Host::WireTransmit, this,
+      {.order = {OrderKind::kLast}, .module = &module_});
+
+  // The protocol layers attach as guarded extensions.
+  auto ip_binding = dispatcher_->InstallHandler(
+      EtherPacketArrived, &Host::IpInput, this, {.module = &module_});
+  dispatcher_->AddMicroGuard(ip_binding, EtherTypeGuard(kEtherTypeIp));
+
+  auto udp_binding = dispatcher_->InstallHandler(
+      IpPacketArrived, &Host::UdpInput, this, {.module = &module_});
+  dispatcher_->AddMicroGuard(udp_binding, IpProtoGuard(kIpProtoUdp));
+
+  auto tcp_binding = dispatcher_->InstallHandler(
+      IpPacketArrived, &Host::TcpInput, this, {.module = &module_});
+  dispatcher_->AddMicroGuard(tcp_binding, IpProtoGuard(kIpProtoTcp));
+}
+
+bool Host::IpInput(Host* host, Packet* packet) {
+  if (!VerifyIpChecksum(*packet)) {
+    ++host->checksum_drops_;
+    return false;
+  }
+  return host->IpPacketArrived.Raise(packet);
+}
+
+bool Host::UdpInput(Host* host, Packet* packet) {
+  return host->UdpPacketArrived.Raise(packet);
+}
+
+bool Host::TcpInput(Host* host, Packet* packet) {
+  return host->TcpPacketArrived.Raise(packet);
+}
+
+bool Host::Drop(Host* host, Packet* packet) {
+  (void)packet;
+  ++host->dropped_;
+  return false;
+}
+
+bool Host::DropOutbound(Host* host, Packet* packet) {
+  (void)packet;
+  ++host->tx_dropped_;
+  return false;
+}
+
+bool Host::WireTransmit(Host* host, Packet* packet) {
+  SPIN_ASSERT_MSG(host->wire_ != nullptr, "host %s has no wire",
+                  host->name_.c_str());
+  ++host->tx_;
+  host->wire_->Send(*host, *packet);
+  return true;
+}
+
+void Host::Transmit(const Packet& packet) {
+  // By-value copy into the event frame: interposed handlers may rewrite
+  // the frame without disturbing the caller's packet.
+  Packet outbound = packet;
+  (void)EtherPacketSend.Raise(&outbound);
+}
+
+void Host::Receive(Packet packet) {
+  ++rx_;
+  (void)EtherPacketArrived.Raise(&packet);
+}
+
+UdpSocket::UdpSocket(Host& host, uint16_t port, ReceiveFn on_receive)
+    : host_(host), port_(port), on_receive_(std::move(on_receive)) {
+  binding_ = host_.dispatcher().InstallHandler(
+      host_.UdpPacketArrived, &UdpSocket::Input, this,
+      {.module = &host_.module()});
+  host_.dispatcher().AddMicroGuard(binding_, DstPortGuard(port_));
+}
+
+UdpSocket::~UdpSocket() {
+  if (binding_ != nullptr && binding_->active.load()) {
+    host_.dispatcher().Uninstall(binding_, &host_.module());
+  }
+}
+
+bool UdpSocket::Input(UdpSocket* socket, Packet* packet) {
+  ++socket->received_;
+  if (socket->on_receive_) {
+    socket->on_receive_(*packet);
+  }
+  return true;
+}
+
+void UdpSocket::SendTo(uint32_t dst_ip, uint16_t dst_port,
+                       const std::string& payload) {
+  host_.Transmit(
+      MakeUdpPacket(host_.ip(), dst_ip, port_, dst_port, payload));
+}
+
+}  // namespace net
+}  // namespace spin

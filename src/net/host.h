@@ -1,0 +1,155 @@
+// Event-driven protocol stack (Fiuczynski & Bershad 96 analogue, §3.2).
+//
+// Each host owns the packet events of Table 3 — Ether.PacketArrived,
+// Ip.PacketArrived, Udp.PacketArrived, Tcp.PacketArrived — and the protocol
+// layers are *extensions*: IP attaches to the Ethernet event with a guard
+// on the ethertype; UDP and TCP attach to the IP event with guards on the
+// protocol field; sockets attach to the UDP/TCP events with guards on the
+// destination port. All demultiplexing guards are micro-programs, so the
+// generated dispatch routine inlines them exactly as SPIN inlined its
+// packet guards.
+#ifndef SRC_NET_HOST_H_
+#define SRC_NET_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/dispatcher.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace spin {
+namespace net {
+
+class Host;
+
+// A point-to-point link between two hosts, timed by the simulator.
+class Wire {
+ public:
+  Wire(sim::Simulator* sim, sim::LinkModel model)
+      : sim_(sim), model_(model) {}
+
+  void Attach(Host& a, Host& b);
+  void Send(Host& from, const Packet& packet);
+
+  // Deterministic loss injection: drops every nth frame (0 = lossless).
+  // The frame still occupies the wire (collisions lost airtime too).
+  void SetLossPattern(uint32_t drop_every_nth) {
+    loss_pattern_ = drop_every_nth;
+  }
+  uint64_t frames_lost() const { return lost_; }
+
+  uint64_t bytes_carried() const { return bytes_; }
+  const sim::LinkModel& model() const { return model_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::LinkModel model_;
+  Host* a_ = nullptr;
+  Host* b_ = nullptr;
+  uint64_t bytes_ = 0;
+  uint32_t loss_pattern_ = 0;
+  uint64_t frame_count_ = 0;
+  uint64_t lost_ = 0;
+  // The medium serializes one frame at a time; transmission of frame n+1
+  // cannot begin before frame n has left the wire (keeps delivery in FIFO
+  // order, as on the paper's shared 10 Mb/s Ethernet).
+  uint64_t busy_until_ns_ = 0;
+};
+
+class Host {
+ public:
+  Host(std::string name, uint32_t ip, Dispatcher* dispatcher);
+
+  const std::string& host_name() const { return name_; }
+  uint32_t ip() const { return ip_; }
+  Dispatcher& dispatcher() { return *dispatcher_; }
+  const Module& module() const { return module_; }
+  Module& module() { return module_; }
+
+  // The packet events (result: "did any handler consume the packet").
+  Event<bool(Packet*)> EtherPacketArrived;
+  Event<bool(Packet*)> IpPacketArrived;
+  Event<bool(Packet*)> UdpPacketArrived;
+  Event<bool(Packet*)> TcpPacketArrived;
+
+  // Raised for every outbound frame before it reaches the wire. The
+  // default handler transmits; extensions interpose to transform traffic —
+  // the paper's motivating "add compression to network protocols" (§1).
+  // Handlers may rewrite the packet in place; returning false drops it.
+  Event<bool(Packet*)> EtherPacketSend;
+
+  void AttachWire(Wire* wire) { wire_ = wire; }
+  Wire* wire() const { return wire_; }
+
+  // Transmit onto the attached wire.
+  void Transmit(const Packet& packet);
+
+  // Wire delivery entry: raises the Ethernet event chain synchronously.
+  void Receive(Packet packet);
+
+  uint64_t rx_packets() const { return rx_; }
+  uint64_t tx_packets() const { return tx_; }
+  uint64_t dropped_packets() const { return dropped_; }
+  uint64_t tx_dropped_packets() const { return tx_dropped_; }
+  uint64_t checksum_drops() const { return checksum_drops_; }
+
+  // The wire-transmit binding: the target for imposed outbound-policy
+  // guards (firewalling, rate limiting).
+  const BindingHandle& transmit_binding() const { return transmit_binding_; }
+
+ private:
+  static bool IpInput(Host* host, Packet* packet);
+  static bool UdpInput(Host* host, Packet* packet);
+  static bool TcpInput(Host* host, Packet* packet);
+  static bool Drop(Host* host, Packet* packet);
+  static bool DropOutbound(Host* host, Packet* packet);
+  static bool WireTransmit(Host* host, Packet* packet);
+
+  std::string name_;
+  uint32_t ip_;
+  Dispatcher* dispatcher_;
+  Module module_;
+  Wire* wire_ = nullptr;
+  BindingHandle transmit_binding_;
+  uint64_t rx_ = 0;
+  uint64_t tx_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t tx_dropped_ = 0;
+  uint64_t checksum_drops_ = 0;
+};
+
+// A bound UDP endpoint: installs a port-guarded handler on the host's
+// Udp.PacketArrived event (the Table 2 experimental subject).
+class UdpSocket {
+ public:
+  using ReceiveFn = std::function<void(const Packet&)>;
+
+  UdpSocket(Host& host, uint16_t port, ReceiveFn on_receive);
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  void SendTo(uint32_t dst_ip, uint16_t dst_port,
+              const std::string& payload);
+
+  uint16_t port() const { return port_; }
+  uint64_t received() const { return received_; }
+  const BindingHandle& binding() const { return binding_; }
+
+ private:
+  static bool Input(UdpSocket* socket, Packet* packet);
+
+  Host& host_;
+  uint16_t port_;
+  ReceiveFn on_receive_;
+  BindingHandle binding_;
+  uint64_t received_ = 0;
+};
+
+}  // namespace net
+}  // namespace spin
+
+#endif  // SRC_NET_HOST_H_

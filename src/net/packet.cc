@@ -1,0 +1,76 @@
+#include "src/net/packet.h"
+
+#include "src/rt/panic.h"
+
+namespace spin {
+namespace net {
+namespace {
+
+void FillCommon(Packet& packet, uint32_t src_ip, uint32_t dst_ip,
+                uint8_t proto, size_t total_len) {
+  SPIN_ASSERT(total_len <= kMaxFrame);
+  packet.len = static_cast<uint32_t>(total_len);
+  packet.Put16(kEtherTypeOff, kEtherTypeIp);
+  packet.data[kIpOff] = 0x45;  // IPv4, 20-byte header
+  packet.Put16(kIpOff + 2, static_cast<uint16_t>(total_len - kIpOff));
+  packet.data[kIpOff + 8] = 64;  // TTL
+  packet.data[kIpProtoOff] = proto;
+  packet.Put32(kIpSrcOff, src_ip);
+  packet.Put32(kIpDstOff, dst_ip);
+  StampIpChecksum(packet);
+}
+
+}  // namespace
+
+uint16_t IpHeaderChecksum(const Packet& packet) {
+  uint32_t sum = 0;
+  for (size_t off = kIpOff; off < kIpOff + 20; off += 2) {
+    if (off == kIpChecksumOff) {
+      continue;  // the checksum field counts as zero
+    }
+    sum += packet.Get16(off);
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+void StampIpChecksum(Packet& packet) {
+  packet.Put16(kIpChecksumOff, IpHeaderChecksum(packet));
+}
+
+bool VerifyIpChecksum(const Packet& packet) {
+  return packet.Get16(kIpChecksumOff) == IpHeaderChecksum(packet);
+}
+
+Packet MakeUdpPacket(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+                     uint16_t dst_port, const std::string& payload) {
+  Packet packet;
+  size_t total = kUdpPayloadOff + payload.size();
+  FillCommon(packet, src_ip, dst_ip, kIpProtoUdp, total);
+  packet.Put16(kSrcPortOff, src_port);
+  packet.Put16(kDstPortOff, dst_port);
+  packet.Put16(kUdpLenOff, static_cast<uint16_t>(8 + payload.size()));
+  std::memcpy(packet.data + kUdpPayloadOff, payload.data(), payload.size());
+  return packet;
+}
+
+Packet MakeTcpPacket(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+                     uint16_t dst_port, uint32_t seq, uint32_t ack,
+                     uint8_t flags, const std::string& payload) {
+  Packet packet;
+  size_t total = kTcpPayloadOff + payload.size();
+  FillCommon(packet, src_ip, dst_ip, kIpProtoTcp, total);
+  packet.Put16(kSrcPortOff, src_port);
+  packet.Put16(kDstPortOff, dst_port);
+  packet.Put32(kTcpSeqOff, seq);
+  packet.Put32(kTcpAckOff, ack);
+  packet.data[kL4Off + 12] = 5 << 4;  // data offset: 5 words
+  packet.data[kTcpFlagsOff] = flags;
+  std::memcpy(packet.data + kTcpPayloadOff, payload.data(), payload.size());
+  return packet;
+}
+
+}  // namespace net
+}  // namespace spin

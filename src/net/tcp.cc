@@ -1,0 +1,186 @@
+#include "src/net/tcp.h"
+
+#include "src/micro/program.h"
+#include "src/rt/panic.h"
+
+namespace spin {
+namespace net {
+
+TcpEndpoint::TcpEndpoint(Host& host, uint16_t local_port)
+    : host_(host), local_port_(local_port) {
+  binding_ = host_.dispatcher().InstallHandler(
+      host_.TcpPacketArrived, &TcpEndpoint::Input, this,
+      {.module = &host_.module()});
+  host_.dispatcher().AddMicroGuard(
+      binding_,
+      micro::GuardArgFieldEq(/*num_args=*/1, /*arg=*/0, kDstPortOff,
+                             /*width=*/2, ~0ull,
+                             PortFieldValue(local_port_)));
+}
+
+TcpEndpoint::~TcpEndpoint() {
+  if (binding_ != nullptr && binding_->active.load()) {
+    host_.dispatcher().Uninstall(binding_, &host_.module());
+  }
+}
+
+void TcpEndpoint::Listen(DataFn on_data) {
+  on_data_ = std::move(on_data);
+  state_ = State::kListen;
+}
+
+void TcpEndpoint::Connect(uint32_t dst_ip, uint16_t dst_port,
+                          DataFn on_data) {
+  on_data_ = std::move(on_data);
+  remote_ip_ = dst_ip;
+  remote_port_ = dst_port;
+  state_ = State::kSynSent;
+  snd_next_ = 1000;  // deterministic ISN keeps tests reproducible
+  Emit(kTcpSyn, "");
+  ++snd_next_;  // SYN consumes one sequence number
+}
+
+void TcpEndpoint::Emit(uint8_t flags, const std::string& payload) {
+  ++segments_sent_;
+  host_.Transmit(MakeTcpPacket(host_.ip(), remote_ip_, local_port_,
+                               remote_port_, snd_next_, rcv_next_, flags,
+                               payload));
+}
+
+void TcpEndpoint::Send(const std::string& data) {
+  SPIN_ASSERT_MSG(state_ == State::kEstablished,
+                  "Send on a non-established connection");
+  size_t offset = 0;
+  while (offset < data.size()) {
+    size_t chunk = std::min(kTcpMss, data.size() - offset);
+    std::string payload = data.substr(offset, chunk);
+    Emit(kTcpAckFlag, payload);
+    TrackSent(snd_next_, payload);
+    snd_next_ += static_cast<uint32_t>(chunk);
+    offset += chunk;
+  }
+}
+
+void TcpEndpoint::EnableRetransmit(sim::Simulator* sim,
+                                   uint64_t timeout_ns) {
+  sim_ = sim;
+  rto_ns_ = timeout_ns;
+}
+
+void TcpEndpoint::TrackSent(uint32_t seq, const std::string& payload) {
+  if (sim_ == nullptr || payload.empty()) {
+    return;
+  }
+  unacked_.push_back(Unacked{seq, payload, sim_->now_ns()});
+  ArmTimer();
+}
+
+void TcpEndpoint::OnAck(uint32_t ack) {
+  while (!unacked_.empty() &&
+         unacked_.front().seq +
+                 static_cast<uint32_t>(unacked_.front().payload.size()) <=
+             ack) {
+    unacked_.pop_front();
+  }
+}
+
+void TcpEndpoint::ArmTimer() {
+  if (timer_armed_ || sim_ == nullptr) {
+    return;
+  }
+  timer_armed_ = true;
+  sim_->After(rto_ns_, [this] { RetransmitCheck(); });
+}
+
+void TcpEndpoint::RetransmitCheck() {
+  timer_armed_ = false;
+  if (unacked_.empty()) {
+    return;
+  }
+  uint64_t now = sim_->now_ns();
+  if (unacked_.front().sent_at_ns + rto_ns_ <= now) {
+    // Go-back-N: resend every outstanding segment in order. The receiver's
+    // cumulative ACK discards what it already has.
+    for (Unacked& segment : unacked_) {
+      ++retransmissions_;
+      ++segments_sent_;
+      host_.Transmit(MakeTcpPacket(host_.ip(), remote_ip_, local_port_,
+                                   remote_port_, segment.seq, rcv_next_,
+                                   kTcpAckFlag, segment.payload));
+      segment.sent_at_ns = now;
+    }
+  }
+  ArmTimer();
+}
+
+void TcpEndpoint::Close() {
+  if (state_ == State::kEstablished) {
+    Emit(kTcpFin | kTcpAckFlag, "");
+    ++snd_next_;
+    state_ = State::kFinWait;
+  }
+}
+
+bool TcpEndpoint::Input(TcpEndpoint* ep, Packet* packet) {
+  ++ep->segments_received_;
+  uint8_t flags = packet->tcp_flags();
+  uint32_t seq = packet->tcp_seq();
+
+  if ((flags & kTcpSyn) != 0 && (flags & kTcpAckFlag) == 0) {
+    // Passive open: SYN -> SYN+ACK.
+    if (ep->state_ != State::kListen) {
+      return true;
+    }
+    ep->remote_ip_ = packet->ip_src();
+    ep->remote_port_ = packet->src_port();
+    ep->rcv_next_ = seq + 1;
+    ep->snd_next_ = 5000;
+    ep->state_ = State::kSynReceived;
+    ep->Emit(kTcpSyn | kTcpAckFlag, "");
+    ++ep->snd_next_;
+    return true;
+  }
+  if ((flags & kTcpSyn) != 0 && (flags & kTcpAckFlag) != 0) {
+    // Active opener receiving SYN+ACK -> ACK, established.
+    ep->rcv_next_ = seq + 1;
+    ep->state_ = State::kEstablished;
+    ep->Emit(kTcpAckFlag, "");
+    return true;
+  }
+  if ((flags & kTcpFin) != 0) {
+    ep->rcv_next_ = seq + 1;
+    ep->state_ = ep->state_ == State::kFinWait ? State::kClosed
+                                               : State::kCloseWait;
+    ep->Emit(kTcpAckFlag, "");
+    return true;
+  }
+
+  // Plain ACK completes the passive handshake.
+  if (ep->state_ == State::kSynReceived) {
+    ep->state_ = State::kEstablished;
+  }
+  if ((flags & kTcpAckFlag) != 0) {
+    ep->OnAck(packet->tcp_ack());
+  }
+
+  std::string payload = packet->TcpPayload();
+  if (payload.empty()) {
+    return true;
+  }
+  if (seq == ep->rcv_next_) {
+    ep->rcv_next_ += static_cast<uint32_t>(payload.size());
+    ep->bytes_received_ += payload.size();
+    if (ep->on_data_) {
+      ep->on_data_(payload);
+    }
+    ep->Emit(kTcpAckFlag, "");  // cumulative pure ACK per data segment
+  } else {
+    // Out-of-order or duplicate data (a loss upstream): re-advertise
+    // rcv_next so a retransmitting sender converges (duplicate ACK).
+    ep->Emit(kTcpAckFlag, "");
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace spin

@@ -1,0 +1,102 @@
+// A lightweight TCP endpoint over the event-driven stack.
+//
+// Enough machinery to carry the Table 3 workload (a multi-megabyte stream
+// of page images between the ghostview client and the X11 server): 3-way
+// handshake, sequenced data segments, cumulative pure ACKs, FIN teardown.
+// The paper's testbed ran on an idle LAN, so loss handling is optional:
+// EnableRetransmit() arms go-back-N retransmission driven by the
+// simulator's virtual clock, for lossy-wire experiments and tests.
+#ifndef SRC_NET_TCP_H_
+#define SRC_NET_TCP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/net/host.h"
+#include "src/sim/simulator.h"
+
+namespace spin {
+namespace net {
+
+inline constexpr size_t kTcpMss = 1460;
+
+class TcpEndpoint {
+ public:
+  using DataFn = std::function<void(const std::string&)>;
+
+  TcpEndpoint(Host& host, uint16_t local_port);
+  ~TcpEndpoint();
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  enum class State : uint8_t {
+    kClosed,
+    kListen,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinWait,
+    kCloseWait,
+  };
+
+  // Passive open.
+  void Listen(DataFn on_data);
+  // Active open: emits SYN; the connection establishes as the simulator
+  // delivers the handshake.
+  void Connect(uint32_t dst_ip, uint16_t dst_port, DataFn on_data);
+  // Segments `data` into MSS-sized packets.
+  void Send(const std::string& data);
+  void Close();
+
+  State state() const { return state_; }
+  bool established() const { return state_ == State::kEstablished; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  uint64_t segments_sent() const { return segments_sent_; }
+  uint64_t segments_received() const { return segments_received_; }
+  uint64_t retransmissions() const { return retransmissions_; }
+
+  // Arms go-back-N retransmission: data segments unacknowledged for
+  // `timeout_ns` of virtual time are resent (all outstanding, in order).
+  void EnableRetransmit(sim::Simulator* sim, uint64_t timeout_ns);
+
+ private:
+  struct Unacked {
+    uint32_t seq;
+    std::string payload;
+    uint64_t sent_at_ns;
+  };
+
+  static bool Input(TcpEndpoint* endpoint, Packet* packet);
+  void Emit(uint8_t flags, const std::string& payload);
+  void TrackSent(uint32_t seq, const std::string& payload);
+  void OnAck(uint32_t ack);
+  void ArmTimer();
+  void RetransmitCheck();
+
+  Host& host_;
+  uint16_t local_port_;
+  uint32_t remote_ip_ = 0;
+  uint16_t remote_port_ = 0;
+  State state_ = State::kClosed;
+  uint32_t snd_next_ = 0;  // next sequence number to send
+  uint32_t rcv_next_ = 0;  // next sequence number expected
+  DataFn on_data_;
+  BindingHandle binding_;
+  uint64_t bytes_received_ = 0;
+  uint64_t segments_sent_ = 0;
+  uint64_t segments_received_ = 0;
+
+  // Retransmission state.
+  sim::Simulator* sim_ = nullptr;
+  uint64_t rto_ns_ = 0;
+  bool timer_armed_ = false;
+  std::deque<Unacked> unacked_;
+  uint64_t retransmissions_ = 0;
+};
+
+}  // namespace net
+}  // namespace spin
+
+#endif  // SRC_NET_TCP_H_

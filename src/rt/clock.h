@@ -1,0 +1,47 @@
+// Monotonic and cycle-granularity timing used by the benchmarks and the
+// event profiler (Table 3 reproduction).
+#ifndef SRC_RT_CLOCK_H_
+#define SRC_RT_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace spin {
+
+// Nanoseconds on the monotonic clock.
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Raw timestamp counter. Only used for fine-grained deltas within one core;
+// benchmarks prefer NowNs.
+inline uint64_t Rdtsc() {
+#if defined(__x86_64__)
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+#else
+  return NowNs();
+#endif
+}
+
+// A simple stopwatch accumulating elapsed nanoseconds across start/stop pairs.
+class Stopwatch {
+ public:
+  void Start() { start_ = NowNs(); }
+  void Stop() { total_ += NowNs() - start_; }
+  uint64_t total_ns() const { return total_; }
+  void Reset() { total_ = 0; }
+
+ private:
+  uint64_t start_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace spin
+
+#endif  // SRC_RT_CLOCK_H_

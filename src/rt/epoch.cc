@@ -1,0 +1,182 @@
+#include "src/rt/epoch.h"
+
+#include "src/rt/panic.h"
+
+namespace spin {
+namespace {
+
+struct TlsSlot {
+  // One cached record per (thread, domain) pair would require a map; in
+  // practice the process uses the global domain plus short-lived test
+  // domains, so we cache the record keyed by domain pointer.
+  EpochDomain* domain = nullptr;
+  void* record = nullptr;
+};
+
+thread_local TlsSlot g_tls;
+
+}  // namespace
+
+EpochDomain& EpochDomain::Global() {
+  static EpochDomain* domain = new EpochDomain();  // intentionally leaked
+  return *domain;
+}
+
+EpochDomain::~EpochDomain() {
+  // Free everything still retired; callers must have quiesced.
+  for (auto& list : retired_) {
+    for (const Retired& r : list) {
+      r.deleter(r.ptr);
+    }
+    list.clear();
+  }
+  ThreadRecord* rec = records_.load(std::memory_order_acquire);
+  while (rec != nullptr) {
+    ThreadRecord* next = rec->next;
+    delete rec;
+    rec = next;
+  }
+  if (g_tls.domain == this) {
+    g_tls = TlsSlot{};
+  }
+}
+
+EpochDomain::ThreadRecord* EpochDomain::AcquireRecord() {
+  if (g_tls.domain == this && g_tls.record != nullptr) {
+    return static_cast<ThreadRecord*>(g_tls.record);
+  }
+  // Try to reuse a record abandoned by an exited thread.
+  for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    bool expected = false;
+    if (rec->in_use.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+      g_tls.domain = this;
+      g_tls.record = rec;
+      return rec;
+    }
+  }
+  auto* rec = new ThreadRecord();
+  rec->in_use.store(true, std::memory_order_relaxed);
+  ThreadRecord* head = records_.load(std::memory_order_relaxed);
+  do {
+    rec->next = head;
+  } while (!records_.compare_exchange_weak(head, rec,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+  g_tls.domain = this;
+  g_tls.record = rec;
+  return rec;
+}
+
+void EpochDomain::Enter() {
+  ThreadRecord* rec = AcquireRecord();
+  if (rec->nesting++ > 0) {
+    return;  // already pinned by an enclosing guard
+  }
+  rec->epoch.store(global_epoch_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  // The store above must be visible before any read of protected data, and
+  // before a writer samples our epoch during TryAdvance.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void EpochDomain::Exit() {
+  auto* rec = static_cast<ThreadRecord*>(g_tls.record);
+  SPIN_DCHECK(rec != nullptr && rec->nesting > 0);
+  if (--rec->nesting == 0) {
+    rec->epoch.store(kIdle, std::memory_order_release);
+  }
+}
+
+EpochDomain::Guard::Guard(EpochDomain& domain) : domain_(domain) {
+  domain_.Enter();
+}
+
+EpochDomain::Guard::~Guard() { domain_.Exit(); }
+
+void EpochDomain::Retire(void* p, void (*deleter)(void*)) {
+  bool flush = false;
+  {
+    std::lock_guard<Spinlock> lock(retire_lock_);
+    uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+    retired_[e % 3].push_back(Retired{p, deleter});
+    flush = retired_total_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+            kFlushThreshold;
+  }
+  if (flush) {
+    Flush();
+  }
+}
+
+bool EpochDomain::TryAdvanceLocked() {
+  uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+  for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    uint64_t seen = rec->epoch.load(std::memory_order_acquire);
+    if (seen != kIdle && seen != e) {
+      return false;  // a reader is still in an older epoch
+    }
+  }
+  global_epoch_.store(e + 1, std::memory_order_release);
+  return true;
+}
+
+size_t EpochDomain::ReclaimLocked() {
+  // Everything retired in epoch e is safe once the global epoch reaches e+2:
+  // no reader pinned at e or e+1 can still reference it.
+  uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+  if (e < 2) {
+    return 0;
+  }
+  std::vector<Retired>& list = retired_[(e - 2) % 3];
+  size_t n = list.size();
+  for (const Retired& r : list) {
+    r.deleter(r.ptr);
+  }
+  list.clear();
+  retired_total_.fetch_sub(n, std::memory_order_relaxed);
+  return n;
+}
+
+size_t EpochDomain::Flush() {
+  std::lock_guard<Spinlock> lock(retire_lock_);
+  size_t freed = ReclaimLocked();
+  if (TryAdvanceLocked()) {
+    freed += ReclaimLocked();
+  }
+  return freed;
+}
+
+void EpochDomain::Synchronize() {
+  // Advance the epoch twice, reclaiming after each advance. Items retired at
+  // epoch e live in bucket e%3 and are freed when the epoch reaches e+2, so
+  // two advances flush everything retired before the call. Reclaiming before
+  // each advance preserves the invariant that the bucket about to become
+  // "current" is empty. The caller must not hold a Guard on this domain.
+  int advances = 0;
+  while (advances < 2) {
+    bool advanced = false;
+    {
+      std::lock_guard<Spinlock> lock(retire_lock_);
+      ReclaimLocked();
+      advanced = TryAdvanceLocked();
+      if (advanced) {
+        ReclaimLocked();
+      }
+    }
+    if (advanced) {
+      ++advances;
+    } else {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+}
+
+size_t EpochDomain::retired_count() const {
+  return retired_total_.load(std::memory_order_relaxed);
+}
+
+}  // namespace spin

@@ -1,0 +1,20 @@
+#include "src/rt/panic.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spin {
+
+void PanicImpl(const char* file, int line, const char* fmt, ...) {
+  std::fprintf(stderr, "panic: %s:%d: ", file, line);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace spin

@@ -1,0 +1,41 @@
+// Panic and assertion support for the SPIN event-system reproduction.
+//
+// The original SPIN kernel halted on internal inconsistencies; we abort the
+// process. SPIN_ASSERT is always compiled in (these are systems-level
+// invariants, not debugging aids); SPIN_DCHECK compiles out in NDEBUG builds.
+#ifndef SRC_RT_PANIC_H_
+#define SRC_RT_PANIC_H_
+
+namespace spin {
+
+// Prints "panic: <message>" with source location to stderr and aborts.
+[[noreturn]] void PanicImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace spin
+
+#define SPIN_PANIC(...) ::spin::PanicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define SPIN_ASSERT(cond)                                  \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      SPIN_PANIC("assertion failed: %s", #cond);           \
+    }                                                      \
+  } while (0)
+
+#define SPIN_ASSERT_MSG(cond, ...)                         \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      SPIN_PANIC(__VA_ARGS__);                             \
+    }                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPIN_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define SPIN_DCHECK(cond) SPIN_ASSERT(cond)
+#endif
+
+#endif  // SRC_RT_PANIC_H_

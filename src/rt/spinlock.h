@@ -1,0 +1,42 @@
+// A test-and-test-and-set spinlock.
+//
+// The dispatcher's install path and the simulated kernel take short critical
+// sections; a spinlock mirrors the in-kernel locking discipline of SPIN more
+// closely than a futex-based mutex and keeps the fast paths allocation-free.
+#ifndef SRC_RT_SPINLOCK_H_
+#define SRC_RT_SPINLOCK_H_
+
+#include <atomic>
+
+namespace spin {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace spin
+
+#endif  // SRC_RT_SPINLOCK_H_

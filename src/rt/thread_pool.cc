@@ -1,0 +1,93 @@
+#include "src/rt/thread_pool.h"
+
+#include <utility>
+
+#include "src/rt/panic.h"
+
+namespace spin {
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers == 0) {
+    workers = 2;
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();  // intentionally leaked
+  return *pool;
+}
+
+void ThreadPool::Submit(std::function<void()> task, AsyncMode mode) {
+  if (mode == AsyncMode::kSpawn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SPIN_ASSERT(!shutdown_);
+      ++in_flight_;
+    }
+    std::thread([this, task = std::move(task)] {
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }).detach();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SPIN_ASSERT(!shutdown_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with no work left
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+}  // namespace spin

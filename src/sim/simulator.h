@@ -1,0 +1,93 @@
+// Discrete-event simulation substrate.
+//
+// Stands in for the paper's second machine and 10 Mb/s Ethernet (§3.2):
+// virtual time advances through an event queue; link models charge
+// serialization and propagation delay in virtual nanoseconds. Protocol
+// processing runs as real host code, so its cost can be measured with the
+// real clock and reported alongside the modeled wire time (see
+// bench_table2_udp and EXPERIMENTS.md for the calibration discussion).
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace spin {
+namespace sim {
+
+class Simulator {
+ public:
+  uint64_t now_ns() const { return now_ns_; }
+
+  // Schedules `fn` at absolute virtual time `at_ns` (clamped to now).
+  void At(uint64_t at_ns, std::function<void()> fn) {
+    queue_.push(Entry{at_ns < now_ns_ ? now_ns_ : at_ns, next_seq_++,
+                      std::move(fn)});
+  }
+
+  void After(uint64_t delay_ns, std::function<void()> fn) {
+    At(now_ns_ + delay_ns, std::move(fn));
+  }
+
+  // Runs events until the queue drains or virtual time passes `until_ns`.
+  // Returns the number of events executed.
+  size_t Run(uint64_t until_ns = ~0ull) {
+    size_t executed = 0;
+    while (!queue_.empty() && queue_.top().at_ns <= until_ns) {
+      Entry entry = queue_.top();
+      queue_.pop();
+      now_ns_ = entry.at_ns;
+      entry.fn();
+      ++executed;
+    }
+    return executed;
+  }
+
+  bool RunOne() {
+    if (queue_.empty()) {
+      return false;
+    }
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ns_ = entry.at_ns;
+    entry.fn();
+    return true;
+  }
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t at_ns;
+    uint64_t seq;  // FIFO among simultaneous events
+    std::function<void()> fn;
+
+    bool operator>(const Entry& other) const {
+      return at_ns != other.at_ns ? at_ns > other.at_ns : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  uint64_t now_ns_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+// A link's timing model. The paper's testbed: 10 Mb/s shared Ethernet.
+struct LinkModel {
+  uint64_t bandwidth_bps = 10'000'000;
+  uint64_t propagation_ns = 25'000;  // per-hop latency incl. device costs
+
+  uint64_t SerializationNs(size_t bytes) const {
+    return bytes * 8ull * 1'000'000'000ull / bandwidth_bps;
+  }
+  uint64_t TransferNs(size_t bytes) const {
+    return SerializationNs(bytes) + propagation_ns;
+  }
+};
+
+}  // namespace sim
+}  // namespace spin
+
+#endif  // SRC_SIM_SIMULATOR_H_

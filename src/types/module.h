@@ -1,0 +1,52 @@
+// Module descriptors.
+//
+// "We added a new type to the language runtime that describes compilation
+// units ... The operations guarantee that the identity of a module can be
+// obtained only inside of that module" (§2.5). In C++ we cannot let the
+// compiler enforce the only-inside-the-module rule, so the convention is:
+// each logical module defines exactly one Module object (usually through
+// SPIN_MODULE) with internal linkage and never hands out mutable access.
+// Authority checks compare Module identities (pointer + id), exactly as the
+// dispatcher compares module descriptors in SPIN.
+#ifndef SRC_TYPES_MODULE_H_
+#define SRC_TYPES_MODULE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spin {
+
+class Module {
+ public:
+  explicit Module(std::string name)
+      : name_(std::move(name)), id_(next_id_.fetch_add(1)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint64_t id() const { return id_; }
+
+  friend bool operator==(const Module& a, const Module& b) {
+    return a.id_ == b.id_;
+  }
+
+ private:
+  static inline std::atomic<uint64_t> next_id_{1};
+  std::string name_;
+  uint64_t id_;
+};
+
+}  // namespace spin
+
+// Declares this translation unit's module descriptor and a THIS_MODULE()
+// accessor with internal linkage, mirroring SPIN's THIS_MODULE() operation.
+#define SPIN_MODULE(modname)                                \
+  namespace {                                               \
+  [[maybe_unused]] const ::spin::Module& THIS_MODULE() {    \
+    static ::spin::Module m(modname);                       \
+    return m;                                               \
+  }                                                         \
+  }
+
+#endif  // SRC_TYPES_MODULE_H_

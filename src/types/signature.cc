@@ -1,0 +1,49 @@
+#include "src/types/signature.h"
+
+namespace spin {
+
+const char* TypeClassName(TypeClass cls) {
+  switch (cls) {
+    case TypeClass::kVoid:
+      return "void";
+    case TypeClass::kBool:
+      return "bool";
+    case TypeClass::kInt32:
+      return "int32";
+    case TypeClass::kUInt32:
+      return "uint32";
+    case TypeClass::kInt64:
+      return "int64";
+    case TypeClass::kUInt64:
+      return "uint64";
+    case TypeClass::kFloat64:
+      return "float64";
+    case TypeClass::kPointer:
+      return "pointer";
+  }
+  return "<bad>";
+}
+
+std::string ProcSig::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    if (params[i].by_ref) {
+      out += "VAR ";
+    }
+    out += TypeClassName(params[i].cls);
+  }
+  out += ") -> ";
+  out += TypeClassName(result.cls);
+  if (functional) {
+    out += " FUNCTIONAL";
+  }
+  if (ephemeral) {
+    out += " EPHEMERAL";
+  }
+  return out;
+}
+
+}  // namespace spin

@@ -1,0 +1,165 @@
+// Procedure signatures and argument slot codecs.
+//
+// Events are "described as Modula-3 procedure signatures" (§2.1). ProcSig is
+// our runtime representation of such a signature: parameter classes, by-ref
+// (VAR) flags, result class, and the FUNCTIONAL / EPHEMERAL attributes that
+// SPIN's compiler carried into runtime type information.
+//
+// Arguments travel through the dispatcher in 8-byte slots (RaiseFrame in the
+// core library). SlotCodec<T> defines the bijection between a C++ parameter
+// and its slot. Only kernel-interface-shaped types are admitted: integers,
+// bools, enums, doubles, pointers, and references (VAR parameters).
+#ifndef SRC_TYPES_SIGNATURE_H_
+#define SRC_TYPES_SIGNATURE_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/types/type_registry.h"
+
+namespace spin {
+
+enum class TypeClass : uint8_t {
+  kVoid,
+  kBool,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat64,
+  kPointer,  // includes references; by_ref distinguishes VAR parameters
+};
+
+const char* TypeClassName(TypeClass cls);
+
+struct ParamSig {
+  TypeClass cls = TypeClass::kVoid;
+  TypeId ref_type = kUntypedId;  // pointee type for kPointer
+  bool by_ref = false;           // Modula-3 VAR parameter
+
+  friend bool operator==(const ParamSig&, const ParamSig&) = default;
+};
+
+struct ProcSig {
+  std::vector<ParamSig> params;
+  ParamSig result;
+  bool functional = false;  // side-effect free (guard-eligible)
+  bool ephemeral = false;   // terminable (EPHEMERAL)
+
+  // Structural equality; attributes are compared separately by the
+  // typechecker because they carry permission, not shape.
+  bool SameShape(const ProcSig& other) const {
+    return params == other.params && result == other.result;
+  }
+
+  std::string ToString() const;
+};
+
+// --- Slot codecs -----------------------------------------------------------
+
+template <typename T, typename = void>
+struct SlotCodec {
+  static_assert(!sizeof(T),
+                "event parameters must be integral, bool, enum, double, "
+                "pointer, or reference types");
+};
+
+template <typename T>
+struct SlotCodec<T, std::enable_if_t<std::is_integral_v<T>>> {
+  static ParamSig Sig() {
+    ParamSig sig;
+    if constexpr (std::is_same_v<T, bool>) {
+      sig.cls = TypeClass::kBool;
+    } else if constexpr (sizeof(T) <= 4) {
+      sig.cls = std::is_signed_v<T> ? TypeClass::kInt32 : TypeClass::kUInt32;
+    } else {
+      sig.cls = std::is_signed_v<T> ? TypeClass::kInt64 : TypeClass::kUInt64;
+    }
+    return sig;
+  }
+  static uint64_t Pack(T v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return v ? 1 : 0;
+    } else {
+      // Sign-extend so that the JIT can pass the slot in a 64-bit register
+      // with correct 32-bit semantics in the callee.
+      return static_cast<uint64_t>(static_cast<int64_t>(v));
+    }
+  }
+  static T Unpack(uint64_t slot) { return static_cast<T>(slot); }
+};
+
+template <typename T>
+struct SlotCodec<T, std::enable_if_t<std::is_enum_v<T>>> {
+  using U = std::underlying_type_t<T>;
+  static ParamSig Sig() { return SlotCodec<U>::Sig(); }
+  static uint64_t Pack(T v) { return SlotCodec<U>::Pack(static_cast<U>(v)); }
+  static T Unpack(uint64_t slot) {
+    return static_cast<T>(SlotCodec<U>::Unpack(slot));
+  }
+};
+
+template <typename T>
+struct SlotCodec<T*> {
+  static ParamSig Sig() {
+    ParamSig sig;
+    sig.cls = TypeClass::kPointer;
+    sig.ref_type = TypeOf<std::remove_cv_t<T>>();
+    return sig;
+  }
+  static uint64_t Pack(T* v) { return reinterpret_cast<uintptr_t>(v); }
+  static T* Unpack(uint64_t slot) {
+    return reinterpret_cast<T*>(static_cast<uintptr_t>(slot));
+  }
+};
+
+template <typename T>
+struct SlotCodec<T&> {
+  static ParamSig Sig() {
+    ParamSig sig = SlotCodec<std::remove_cv_t<T>*>::Sig();
+    sig.by_ref = true;
+    return sig;
+  }
+  static uint64_t Pack(T& v) { return reinterpret_cast<uintptr_t>(&v); }
+  static T& Unpack(uint64_t slot) {
+    return *reinterpret_cast<T*>(static_cast<uintptr_t>(slot));
+  }
+};
+
+template <>
+struct SlotCodec<double> {
+  static ParamSig Sig() { return ParamSig{TypeClass::kFloat64}; }
+  static uint64_t Pack(double v) { return std::bit_cast<uint64_t>(v); }
+  static double Unpack(uint64_t slot) { return std::bit_cast<double>(slot); }
+};
+
+template <>
+struct SlotCodec<void> {
+  static ParamSig Sig() { return ParamSig{TypeClass::kVoid}; }
+};
+
+// Builds the ProcSig of a C++ function type.
+template <typename Sig>
+struct SigOf;
+
+template <typename R, typename... A>
+struct SigOf<R(A...)> {
+  static ProcSig Make() {
+    ProcSig sig;
+    sig.params = {SlotCodec<A>::Sig()...};
+    sig.result = SlotCodec<R>::Sig();
+    return sig;
+  }
+};
+
+template <typename Sig>
+ProcSig MakeProcSig() {
+  return SigOf<Sig>::Make();
+}
+
+}  // namespace spin
+
+#endif  // SRC_TYPES_SIGNATURE_H_

@@ -1,0 +1,69 @@
+#include "src/types/type_registry.h"
+
+#include <mutex>
+
+#include "src/rt/panic.h"
+
+namespace spin {
+
+TypeRegistry& TypeRegistry::Global() {
+  static TypeRegistry* registry = new TypeRegistry();  // intentionally leaked
+  return *registry;
+}
+
+TypeId TypeRegistry::Intern(const std::type_info& info) {
+  std::lock_guard<Spinlock> lock(mu_);
+  auto [it, inserted] = ids_.try_emplace(std::type_index(info),
+                                         static_cast<TypeId>(names_.size()));
+  if (inserted) {
+    names_.push_back(info.name());
+    supers_.emplace_back();
+  }
+  return it->second;
+}
+
+void TypeRegistry::DeclareSubtype(TypeId sub, TypeId super) {
+  std::lock_guard<Spinlock> lock(mu_);
+  SPIN_ASSERT(sub < supers_.size() && super < supers_.size());
+  for (TypeId existing : supers_[sub]) {
+    if (existing == super) {
+      return;
+    }
+  }
+  supers_[sub].push_back(super);
+}
+
+bool TypeRegistry::IsSubtype(TypeId sub, TypeId super) const {
+  if (super == kUntypedId || sub == super) {
+    return true;
+  }
+  std::lock_guard<Spinlock> lock(mu_);
+  // DFS over the (small, acyclic) declared-supertype graph.
+  std::vector<TypeId> stack{sub};
+  std::vector<bool> seen(supers_.size(), false);
+  while (!stack.empty()) {
+    TypeId t = stack.back();
+    stack.pop_back();
+    if (t >= supers_.size() || seen[t]) {
+      continue;
+    }
+    seen[t] = true;
+    for (TypeId up : supers_[t]) {
+      if (up == super) {
+        return true;
+      }
+      stack.push_back(up);
+    }
+  }
+  return false;
+}
+
+std::string TypeRegistry::NameOf(TypeId id) const {
+  std::lock_guard<Spinlock> lock(mu_);
+  if (id < names_.size()) {
+    return names_[id];
+  }
+  return "<invalid>";
+}
+
+}  // namespace spin

@@ -1,0 +1,70 @@
+// Runtime type registry.
+//
+// SPIN's dispatcher leans on Modula-3 runtime type information to typecheck
+// handler installation and to decide closure-subtype compatibility (§2.4).
+// C++ RTTI knows identity but not the subtype lattice without language-level
+// casts on concrete objects, so we keep an explicit registry: every type used
+// as an event parameter pointee or a closure gets a TypeId; subtype edges are
+// declared once (normally right next to the class definition).
+#ifndef SRC_TYPES_TYPE_REGISTRY_H_
+#define SRC_TYPES_TYPE_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <typeindex>
+#include <typeinfo>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rt/spinlock.h"
+
+namespace spin {
+
+using TypeId = uint32_t;
+
+inline constexpr TypeId kUntypedId = 0;  // unknown / opaque REFANY
+
+class TypeRegistry {
+ public:
+  static TypeRegistry& Global();
+
+  // Returns the id for `info`, creating one on first use.
+  TypeId Intern(const std::type_info& info);
+
+  // Declares `sub` to be a direct subtype of `super`.
+  void DeclareSubtype(TypeId sub, TypeId super);
+
+  // True if `sub` == `super`, `super` is kUntypedId (REFANY accepts any
+  // reference), or a declared chain links them.
+  bool IsSubtype(TypeId sub, TypeId super) const;
+
+  std::string NameOf(TypeId id) const;
+
+ private:
+  TypeRegistry() = default;
+
+  mutable Spinlock mu_;
+  std::unordered_map<std::type_index, TypeId> ids_;
+  std::vector<std::string> names_{"<untyped>"};
+  std::vector<std::vector<TypeId>> supers_{{}};  // index: TypeId
+};
+
+// The TypeId of T, interned on first use.
+template <typename T>
+TypeId TypeOf() {
+  static const TypeId id = TypeRegistry::Global().Intern(typeid(T));
+  return id;
+}
+
+// Declares Sub <: Super in the global registry. Typically invoked once at
+// module initialization; safe to call repeatedly.
+template <typename Sub, typename Super>
+void DeclareSubtype() {
+  static_assert(std::is_base_of_v<Super, Sub>,
+                "runtime subtype edge must mirror the C++ hierarchy");
+  TypeRegistry::Global().DeclareSubtype(TypeOf<Sub>(), TypeOf<Super>());
+}
+
+}  // namespace spin
+
+#endif  // SRC_TYPES_TYPE_REGISTRY_H_

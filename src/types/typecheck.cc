@@ -1,0 +1,120 @@
+#include "src/types/typecheck.h"
+
+#include "src/types/type_registry.h"
+
+namespace spin {
+namespace {
+
+// Compares one event parameter against the corresponding procedure
+// parameter, applying the filter by-ref widening rule.
+TypecheckStatus CheckParam(const ParamSig& event, const ParamSig& proc,
+                           bool as_filter) {
+  if (event.cls == proc.cls && event.ref_type == proc.ref_type &&
+      event.by_ref == proc.by_ref) {
+    return TypecheckStatus::kOk;
+  }
+  // Filter widening: a by-value event parameter may be taken by-ref. The
+  // parameter classes must otherwise agree; the dispatcher passes a pointer
+  // to its argument copy.
+  if (!event.by_ref && proc.by_ref && proc.cls == TypeClass::kPointer) {
+    if (!as_filter) {
+      return TypecheckStatus::kByRefNotAllowed;
+    }
+    return TypecheckStatus::kOk;
+  }
+  return TypecheckStatus::kParamMismatch;
+}
+
+TypecheckStatus CheckCommon(const ProcSig& event, const ProcSig& proc,
+                            const TypecheckOptions& opts) {
+  size_t offset = opts.has_closure ? 1 : 0;
+  if (proc.params.size() != event.params.size() + offset) {
+    return TypecheckStatus::kArityMismatch;
+  }
+  if (opts.has_closure) {
+    const ParamSig& closure_param = proc.params[0];
+    if (closure_param.cls != TypeClass::kPointer) {
+      return TypecheckStatus::kMissingClosureParam;
+    }
+    if (!TypeRegistry::Global().IsSubtype(opts.closure_type,
+                                          closure_param.ref_type)) {
+      return TypecheckStatus::kClosureNotSubtype;
+    }
+  }
+  for (size_t i = 0; i < event.params.size(); ++i) {
+    TypecheckStatus status =
+        CheckParam(event.params[i], proc.params[i + offset], opts.as_filter);
+    if (status != TypecheckStatus::kOk) {
+      return status;
+    }
+  }
+  return TypecheckStatus::kOk;
+}
+
+}  // namespace
+
+const char* TypecheckStatusName(TypecheckStatus status) {
+  switch (status) {
+    case TypecheckStatus::kOk:
+      return "ok";
+    case TypecheckStatus::kArityMismatch:
+      return "arity mismatch";
+    case TypecheckStatus::kParamMismatch:
+      return "parameter type mismatch";
+    case TypecheckStatus::kResultMismatch:
+      return "result type mismatch";
+    case TypecheckStatus::kGuardNotBoolean:
+      return "guard must return boolean";
+    case TypecheckStatus::kGuardNotFunctional:
+      return "guard must be FUNCTIONAL";
+    case TypecheckStatus::kMissingClosureParam:
+      return "closure requires a leading reference parameter";
+    case TypecheckStatus::kClosureNotSubtype:
+      return "closure is not a subtype of the handler's closure parameter";
+    case TypecheckStatus::kByRefNotAllowed:
+      return "by-ref parameter widening requires filter installation";
+  }
+  return "<bad>";
+}
+
+TypecheckStatus CheckHandler(const ProcSig& event, const ProcSig& proc,
+                             const TypecheckOptions& opts) {
+  TypecheckStatus status = CheckCommon(event, proc, opts);
+  if (status != TypecheckStatus::kOk) {
+    return status;
+  }
+  if (!(proc.result == event.result)) {
+    return TypecheckStatus::kResultMismatch;
+  }
+  return TypecheckStatus::kOk;
+}
+
+TypecheckStatus CheckGuard(const ProcSig& event, const ProcSig& proc,
+                           const TypecheckOptions& opts) {
+  if (!proc.functional) {
+    return TypecheckStatus::kGuardNotFunctional;
+  }
+  // Guards never widen parameters to by-ref: they are side-effect free and
+  // receive the same (possibly filtered) values as the handler.
+  TypecheckOptions guard_opts = opts;
+  guard_opts.as_filter = false;
+  TypecheckStatus status = CheckCommon(event, proc, guard_opts);
+  if (status != TypecheckStatus::kOk) {
+    return status;
+  }
+  if (proc.result.cls != TypeClass::kBool) {
+    return TypecheckStatus::kGuardNotBoolean;
+  }
+  return TypecheckStatus::kOk;
+}
+
+bool AsyncEligible(const ProcSig& event) {
+  for (const ParamSig& p : event.params) {
+    if (p.by_ref) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spin

@@ -1,0 +1,57 @@
+// Install-time typechecking rules (§2.4 "Typechecking").
+//
+//  - A handler's argument types and return value must equal the event's.
+//  - A guard's argument types must equal the event's; its result must be
+//    boolean. Guards must be FUNCTIONAL.
+//  - A procedure installed with a closure takes an additional first argument
+//    of some reference type; the closure's type must be a subtype of it.
+//  - A handler installed as a filter may declare some by-value event
+//    parameters as by-ref; the dispatcher copies arguments so the raiser's
+//    values are preserved.
+#ifndef SRC_TYPES_TYPECHECK_H_
+#define SRC_TYPES_TYPECHECK_H_
+
+#include <string>
+
+#include "src/types/signature.h"
+
+namespace spin {
+
+enum class TypecheckStatus {
+  kOk,
+  kArityMismatch,
+  kParamMismatch,
+  kResultMismatch,
+  kGuardNotBoolean,
+  kGuardNotFunctional,
+  kMissingClosureParam,
+  kClosureNotSubtype,
+  kByRefNotAllowed,  // by-ref widening requires filter installation
+};
+
+const char* TypecheckStatusName(TypecheckStatus status);
+
+struct TypecheckOptions {
+  bool has_closure = false;     // procedure takes a leading closure param
+  TypeId closure_type = kUntypedId;  // declared type of the supplied closure
+  bool as_filter = false;       // installed as a filter (may widen to by-ref)
+  bool require_ephemeral = false;  // event authority demands EPHEMERAL
+};
+
+// Checks `proc` (a handler signature) against `event`.
+TypecheckStatus CheckHandler(const ProcSig& event, const ProcSig& proc,
+                             const TypecheckOptions& opts);
+
+// Checks `proc` (a guard signature) against `event`.
+TypecheckStatus CheckGuard(const ProcSig& event, const ProcSig& proc,
+                           const TypecheckOptions& opts);
+
+// True when the event may legally be raised or handled asynchronously:
+// no by-ref parameters (arguments may be destroyed before a detached thread
+// runs, §2.6) and, for events returning results, handled by the dispatcher's
+// default-handler rule at raise time.
+bool AsyncEligible(const ProcSig& event);
+
+}  // namespace spin
+
+#endif  // SRC_TYPES_TYPECHECK_H_

@@ -1,0 +1,265 @@
+// Unit tests for the LIR peephole pass: each rewrite, plus conservatism
+// checks (facts must die across calls, stores, and labels).
+#include <gtest/gtest.h>
+
+#include "src/codegen/peephole.h"
+
+namespace spin {
+namespace codegen {
+namespace {
+
+TEST(PeepholeTest, CmpZeroBecomesTest) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kCmpRegImm32, .dst = Reg::kRax, .imm = 0},
+      {.op = LOp::kRet},
+  };
+  EXPECT_GE(Peephole(code), 1u);
+  ASSERT_EQ(code.size(), 2u);
+  EXPECT_EQ(code[0].op, LOp::kTestRegReg);
+  EXPECT_EQ(code[0].dst, Reg::kRax);
+  EXPECT_EQ(code[0].src, Reg::kRax);
+}
+
+TEST(PeepholeTest, CmpNonZeroUntouched) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kCmpRegImm32, .dst = Reg::kRax, .imm = 7},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code[0].op, LOp::kCmpRegImm32);
+}
+
+TEST(PeepholeTest, JumpToNextDropped) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kJmp, .label = 3},
+      {.op = LOp::kBind, .label = 3},
+      {.op = LOp::kRet},
+  };
+  EXPECT_GE(Peephole(code), 1u);
+  EXPECT_EQ(code[0].op, LOp::kBind);
+}
+
+TEST(PeepholeTest, JumpElsewhereKept) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kJmp, .label = 3},
+      {.op = LOp::kMovRegImm, .dst = Reg::kRax, .imm = 1},
+      {.op = LOp::kBind, .label = 3},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code[0].op, LOp::kJmp);
+}
+
+TEST(PeepholeTest, SelfMoveDropped) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kMovRegReg, .dst = Reg::kRax, .src = Reg::kRax},
+      {.op = LOp::kRet},
+  };
+  EXPECT_GE(Peephole(code), 1u);
+  EXPECT_EQ(code[0].op, LOp::kRet);
+}
+
+TEST(PeepholeTest, RedundantReloadDropped) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  EXPECT_GE(Peephole(code), 1u);
+  ASSERT_EQ(code.size(), 2u);
+}
+
+TEST(PeepholeTest, ReloadSurvivesDifferentSlot) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 8},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 3u);
+}
+
+TEST(PeepholeTest, CallKillsLoadFacts) {
+  // A handler may mutate the frame through a filter pointer: reloads after
+  // a call must stay.
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kCall, .dst = Reg::kRax},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 4u);
+}
+
+TEST(PeepholeTest, OverlappingStoreKillsLoadFacts) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kStoreMemReg, .src = Reg::kRcx, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 4u);
+}
+
+TEST(PeepholeTest, DisjointSameBaseStoreKeepsFacts) {
+  // The stub's fired-count increment at [rbx+72] must not force argument
+  // slot reloads from [rbx+0].
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kIncMem32, .base = Reg::kRbx, .disp = 72},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  EXPECT_GE(Peephole(code), 1u);
+  EXPECT_EQ(code.size(), 3u);
+}
+
+TEST(PeepholeTest, DifferentBaseStoreKillsFacts) {
+  // A store through another register could alias anything.
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kStoreMemReg, .src = Reg::kRcx, .base = Reg::kR11,
+       .width = 8, .disp = 128},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 4u);
+}
+
+TEST(PeepholeTest, UnbranchedLabelKeepsFacts) {
+  // Forward-only control flow: a label nobody jumps to is a plain point.
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kBind, .label = 1},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  EXPECT_GE(Peephole(code), 1u);
+  EXPECT_EQ(code.size(), 3u);
+}
+
+TEST(PeepholeTest, JoinDropsFactMissingOnOneEdge) {
+  // The branch into L1 happens before the load; the fact only holds on the
+  // fall-through edge, so the reload after L1 must stay.
+  std::vector<LInsn> code = {
+      {.op = LOp::kTestRegReg, .dst = Reg::kRax, .src = Reg::kRax},
+      {.op = LOp::kJcc, .cc = Cond::kE, .label = 1},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kBind, .label = 1},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 6u);
+}
+
+TEST(PeepholeTest, JoinKeepsFactCommonToAllEdges) {
+  // The fact is established before the branch, so both edges carry it and
+  // the reload after the join is redundant.
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kTestRegReg, .dst = Reg::kRax, .src = Reg::kRax},
+      {.op = LOp::kJcc, .cc = Cond::kE, .label = 1},
+      {.op = LOp::kMovRegImm, .dst = Reg::kRcx, .imm = 1},
+      {.op = LOp::kBind, .label = 1},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  EXPECT_GE(Peephole(code), 1u);
+  EXPECT_EQ(code.size(), 6u);
+}
+
+TEST(PeepholeTest, BackwardBranchDisablesJoinOptimization) {
+  // A backward branch (never produced by the stub compiler) must degrade
+  // gracefully: facts die at labels, nothing is miscompiled.
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kBind, .label = 1},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kTestRegReg, .dst = Reg::kRax, .src = Reg::kRax},
+      {.op = LOp::kJcc, .cc = Cond::kNe, .label = 1},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 6u) << "reload inside the loop must survive";
+}
+
+TEST(PeepholeTest, WriteToRegKillsItsFact) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kMovRegImm, .dst = Reg::kRdi, .imm = 5},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 4u);
+}
+
+TEST(PeepholeTest, WriteToBaseKillsDependentFacts) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRcx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kMovRegImm, .dst = Reg::kRcx, .imm = 5},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRcx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 4u);
+}
+
+TEST(PeepholeTest, WidthMismatchIsNotRedundant) {
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 4, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 3u);
+}
+
+TEST(PeepholeTest, CascadingRewritesReachFixpoint) {
+  // Dropping a jump makes a reload adjacent; both must eventually go.
+  std::vector<LInsn> code = {
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kMovRegReg, .dst = Reg::kRax, .src = Reg::kRax},
+      {.op = LOp::kLoadRegMem, .dst = Reg::kRdi, .base = Reg::kRbx,
+       .width = 8, .disp = 0},
+      {.op = LOp::kRet},
+  };
+  Peephole(code);
+  EXPECT_EQ(code.size(), 2u);
+}
+
+}  // namespace
+}  // namespace codegen
+}  // namespace spin

@@ -1,0 +1,140 @@
+// Concurrency: raises proceed lock-free while handlers are installed and
+// removed; the atomic table swap plus EBR must never expose a torn or freed
+// table (§3: "handler lists are updated atomically with respect to event
+// dispatch").
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/dispatcher.h"
+
+namespace spin {
+namespace {
+
+std::atomic<uint64_t> g_sum{0};
+
+int64_t CountingHandler(int64_t a, int64_t) {
+  g_sum.fetch_add(static_cast<uint64_t>(a), std::memory_order_relaxed);
+  return a;
+}
+int64_t AnchorHandler(int64_t a, int64_t) { return a; }
+bool TrueGuard(int64_t, int64_t) { return true; }
+
+TEST(ConcurrencyTest, RaisesDuringInstallUninstallChurn) {
+  Module module("Churn");
+  Dispatcher dispatcher;
+  Event<int64_t(int64_t, int64_t)> event("Churn.Event", &module, nullptr,
+                                         &dispatcher);
+  // An anchor handler guarantees raises never see an empty table.
+  dispatcher.InstallHandler(event, &AnchorHandler, {.module = &module});
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> raises{0};
+  g_sum = 0;
+
+  std::vector<std::thread> raisers;
+  for (int t = 0; t < 4; ++t) {
+    raisers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        int64_t r = event.Raise(1, 2);
+        ASSERT_EQ(r, 1);
+        raises.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::thread churner([&] {
+    for (int i = 0; i < 2000; ++i) {
+      auto binding = dispatcher.InstallHandler(event, &TrueGuard,
+                                               &CountingHandler,
+                                               {.module = &module});
+      dispatcher.Uninstall(binding, &module);
+    }
+  });
+
+  churner.join();
+  stop.store(true);
+  for (std::thread& t : raisers) {
+    t.join();
+  }
+  EXPECT_GT(raises.load(), 0u);
+  dispatcher.epoch().Synchronize();
+}
+
+TEST(ConcurrencyTest, GuardImpositionDuringRaises) {
+  Module module("GuardChurn");
+  Dispatcher dispatcher;
+  Event<int64_t(int64_t, int64_t)> event("Churn.Guarded", &module, nullptr,
+                                         &dispatcher);
+  dispatcher.InstallHandler(event, &AnchorHandler, {.module = &module});
+  auto target = dispatcher.InstallHandler(event, &CountingHandler,
+                                          {.module = &module});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> raisers;
+  for (int t = 0; t < 4; ++t) {
+    raisers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)event.Raise(1, 2);
+      }
+    });
+  }
+  for (int i = 0; i < 500; ++i) {
+    dispatcher.AddGuard(event, target, &TrueGuard);
+    // Rebuild a fresh guard list each round (dropping to one guard).
+    dispatcher.AddMicroGuard(target, micro::ReturnConst(2, 1, true));
+  }
+  stop.store(true);
+  for (std::thread& t : raisers) {
+    t.join();
+  }
+  dispatcher.epoch().Synchronize();
+}
+
+TEST(ConcurrencyTest, ConcurrentRaisesOnManyEvents) {
+  Module module("Many");
+  Dispatcher dispatcher;
+  constexpr int kEvents = 16;
+  std::vector<std::unique_ptr<Event<int64_t(int64_t, int64_t)>>> events;
+  for (int i = 0; i < kEvents; ++i) {
+    events.push_back(std::make_unique<Event<int64_t(int64_t, int64_t)>>(
+        "Many.E" + std::to_string(i), &module, &AnchorHandler, &dispatcher));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20000; ++i) {
+        int64_t r = events[(t + i) % kEvents]->Raise(i, 0);
+        if (r != i) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, RaiseInsideHandlerNests) {
+  // Handlers may raise events themselves; epoch guards must nest.
+  Module module("Nest");
+  Dispatcher dispatcher;
+  Event<int64_t(int64_t, int64_t)> inner("Nest.Inner", &module,
+                                         &AnchorHandler, &dispatcher);
+  Event<int64_t(int64_t, int64_t)> outer("Nest.Outer", &module, nullptr,
+                                         &dispatcher);
+  static Event<int64_t(int64_t, int64_t)>* inner_ptr = nullptr;
+  inner_ptr = &inner;
+  dispatcher.InstallLambda(
+      outer, [](int64_t a, int64_t b) { return inner_ptr->Raise(a, b) + 1; },
+      {.module = &module});
+  EXPECT_EQ(outer.Raise(41, 0), 42);
+}
+
+}  // namespace
+}  // namespace spin

@@ -1,0 +1,90 @@
+// Credential-based authorization (§2.5): "optionally, an opaque reference
+// passed in by the requestor that can be used to bootstrap a richer
+// authorization protocol such as one based on passwords."
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/core/dispatcher.h"
+
+namespace spin {
+namespace {
+
+struct PasswordVault {
+  const char* expected;
+  int attempts = 0;
+  int rejections = 0;
+};
+
+bool PasswordAuthorizer(AuthRequest& request, void* ctx) {
+  auto* vault = static_cast<PasswordVault*>(ctx);
+  if (request.op != AuthOp::kInstall) {
+    return true;
+  }
+  ++vault->attempts;
+  const char* presented = static_cast<const char*>(request.credentials);
+  if (presented == nullptr ||
+      std::strcmp(presented, vault->expected) != 0) {
+    ++vault->rejections;
+    return false;
+  }
+  return true;
+}
+
+void Handler(int64_t) {}
+
+TEST(CredentialsTest, PasswordGatesInstallation) {
+  Module authority("Vault");
+  Module extension("Extension");
+  Dispatcher dispatcher;
+  Event<void(int64_t)> event("Vault.Event", &authority, nullptr,
+                             &dispatcher);
+  PasswordVault vault{"xyzzy"};
+  dispatcher.InstallAuthorizer(event, &PasswordAuthorizer, &vault,
+                               authority);
+
+  // No credentials.
+  EXPECT_THROW(
+      dispatcher.InstallHandler(event, &Handler, {.module = &extension}),
+      InstallError);
+  // Wrong password.
+  char wrong[] = "plugh";
+  EXPECT_THROW(dispatcher.InstallHandler(
+                   event, &Handler,
+                   {.module = &extension, .credentials = wrong}),
+               InstallError);
+  // Right password.
+  char right[] = "xyzzy";
+  EXPECT_NO_THROW(dispatcher.InstallHandler(
+      event, &Handler, {.module = &extension, .credentials = right}));
+  EXPECT_EQ(vault.attempts, 3);
+  EXPECT_EQ(vault.rejections, 2);
+  EXPECT_EQ(event.handler_count(), 1u);
+}
+
+TEST(CredentialsTest, UninstallCanDemandCredentialsToo) {
+  struct State {
+    bool allow_uninstall = false;
+  } state;
+  Module authority("Vault");
+  Module extension("Extension");
+  Dispatcher dispatcher;
+  Event<void(int64_t)> event("Vault.Event", &authority, nullptr,
+                             &dispatcher);
+  AuthorizerFn authorizer = [](AuthRequest& request, void* ctx) {
+    auto* s = static_cast<State*>(ctx);
+    if (request.op == AuthOp::kUninstall) {
+      return s->allow_uninstall;
+    }
+    return true;
+  };
+  dispatcher.InstallAuthorizer(event, authorizer, &state, authority);
+  auto binding = dispatcher.InstallHandler(event, &Handler,
+                                           {.module = &extension});
+  EXPECT_THROW(dispatcher.Uninstall(binding, &extension), InstallError);
+  state.allow_uninstall = true;
+  EXPECT_NO_THROW(dispatcher.Uninstall(binding, &extension));
+}
+
+}  // namespace
+}  // namespace spin

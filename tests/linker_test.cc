@@ -1,0 +1,162 @@
+// Dynamic linking substrate tests: resolution, typechecking, authorization
+// (§2: extensions link first, then install handlers on resolved events).
+#include <gtest/gtest.h>
+
+#include "src/linker/domain.h"
+
+namespace spin {
+namespace {
+
+int64_t KernelAdd(int64_t a, int64_t b) { return a + b; }
+void Handler(int64_t v) { (void)v; }
+
+class LinkerTest : public ::testing::Test {
+ protected:
+  Module kernel_module_{"KernelCore"};
+  Module ext_module_{"Extension"};
+  Dispatcher dispatcher_;
+  Linker linker_;
+};
+
+TEST_F(LinkerTest, ResolveProcedureAndCall) {
+  Domain& kernel = linker_.CreateDomain("kernel", &kernel_module_);
+  kernel.ExportProcedure("Core.Add", &KernelAdd);
+
+  Domain& ext = linker_.CreateDomain("ext", &ext_module_);
+  ext.ImportProcedure<int64_t, int64_t, int64_t>("Core.Add");
+  EXPECT_FALSE(ext.fully_resolved());
+  ext.Resolve(kernel);
+  EXPECT_TRUE(ext.fully_resolved());
+
+  auto add = ext.GetProcedure<int64_t, int64_t, int64_t>("Core.Add");
+  EXPECT_EQ(add(20, 22), 42);
+}
+
+TEST_F(LinkerTest, SignatureMismatchRejected) {
+  Domain& kernel = linker_.CreateDomain("kernel", &kernel_module_);
+  kernel.ExportProcedure("Core.Add", &KernelAdd);
+
+  Domain& ext = linker_.CreateDomain("ext", &ext_module_);
+  ext.ImportProcedure<int64_t, int64_t>("Core.Add");  // wrong arity
+  try {
+    ext.Resolve(kernel);
+    FAIL() << "expected LinkError";
+  } catch (const LinkError& e) {
+    EXPECT_EQ(e.status(), LinkStatus::kSymbolTypeMismatch);
+  }
+}
+
+TEST_F(LinkerTest, EventExportInstallHandlerFlow) {
+  // The paper's two-phase integration: link against the interface, then
+  // register a handler on the resolved event.
+  Event<void(int64_t)> event("Core.Tick", &kernel_module_, nullptr,
+                             &dispatcher_);
+  Domain& kernel = linker_.CreateDomain("kernel", &kernel_module_);
+  kernel.ExportEvent(event);
+
+  Domain& ext = linker_.CreateDomain("ext", &ext_module_);
+  ext.ImportEvent<void(int64_t)>("Core.Tick");
+  ext.Resolve(kernel);
+
+  auto* resolved = ext.GetEvent<void(int64_t)>("Core.Tick");
+  ASSERT_EQ(resolved, &event);
+  dispatcher_.InstallHandler(*resolved, &Handler, {.module = &ext_module_});
+  EXPECT_EQ(event.handler_count(), 1u);
+  resolved->Raise(7);
+}
+
+TEST_F(LinkerTest, EventSignatureMismatchRejected) {
+  Event<void(int64_t)> event("Core.Tick", &kernel_module_, nullptr,
+                             &dispatcher_);
+  Domain& kernel = linker_.CreateDomain("kernel", &kernel_module_);
+  kernel.ExportEvent(event);
+  Domain& ext = linker_.CreateDomain("ext", &ext_module_);
+  ext.ImportEvent<void(int64_t, int64_t)>("Core.Tick");
+  EXPECT_THROW(ext.Resolve(kernel), LinkError);
+}
+
+bool DenyEvil(const LinkRequest& request, void*) {
+  return request.requestor == nullptr || request.requestor->name() != "Evil";
+}
+
+TEST_F(LinkerTest, LinkAuthorizationDenies) {
+  // §2.5: "Denial prevents the requester from accessing any of the
+  // symbols, and hence events, exported by ... the authorizer."
+  Module evil("Evil");
+  Domain& kernel = linker_.CreateDomain("kernel", &kernel_module_);
+  kernel.ExportProcedure("Core.Add", &KernelAdd);
+  kernel.SetLinkAuthorizer(&DenyEvil, nullptr);
+
+  Domain& evil_domain = linker_.CreateDomain("evil", &evil);
+  evil_domain.ImportProcedure<int64_t, int64_t, int64_t>("Core.Add");
+  try {
+    evil_domain.Resolve(kernel);
+    FAIL() << "expected LinkError";
+  } catch (const LinkError& e) {
+    EXPECT_EQ(e.status(), LinkStatus::kLinkDenied);
+  }
+
+  Domain& good = linker_.CreateDomain("good", &ext_module_);
+  good.ImportProcedure<int64_t, int64_t, int64_t>("Core.Add");
+  EXPECT_NO_THROW(good.Resolve(kernel));
+}
+
+TEST_F(LinkerTest, CombineAggregatesExports) {
+  Domain& a = linker_.CreateDomain("a", &kernel_module_);
+  a.ExportProcedure("A.Fn", &KernelAdd);
+  Domain& b = linker_.CreateDomain("b", &kernel_module_);
+  b.ExportProcedure("B.Fn", &KernelAdd);
+
+  Domain& combined = linker_.CreateDomain("combined", &kernel_module_);
+  combined.Combine(a);
+  combined.Combine(b);
+  EXPECT_EQ(combined.exports().size(), 2u);
+  EXPECT_THROW(combined.Combine(a), LinkError);  // duplicate export
+}
+
+TEST_F(LinkerTest, LinkAgainstAllResolvesIncrementally) {
+  Domain& a = linker_.CreateDomain("a", &kernel_module_);
+  a.ExportProcedure("A.Fn", &KernelAdd);
+  Domain& b = linker_.CreateDomain("b", &kernel_module_);
+  b.ExportProcedure("B.Fn", &KernelAdd);
+
+  Domain& ext = linker_.CreateDomain("ext", &ext_module_);
+  ext.ImportProcedure<int64_t, int64_t, int64_t>("A.Fn");
+  ext.ImportProcedure<int64_t, int64_t, int64_t>("B.Fn");
+  linker_.LinkAgainstAll(ext);
+  EXPECT_TRUE(ext.fully_resolved());
+}
+
+TEST_F(LinkerTest, UnresolvedImportsReported) {
+  Domain& ext = linker_.CreateDomain("ext", &ext_module_);
+  ext.ImportProcedure<int64_t, int64_t, int64_t>("Missing.Fn");
+  try {
+    linker_.LinkAgainstAll(ext);
+    FAIL() << "expected LinkError";
+  } catch (const LinkError& e) {
+    EXPECT_EQ(e.status(), LinkStatus::kUnresolved);
+    EXPECT_NE(std::string(e.what()).find("Missing.Fn"), std::string::npos);
+  }
+}
+
+TEST_F(LinkerTest, DataExport) {
+  static int64_t counter = 5;
+  Domain& kernel = linker_.CreateDomain("kernel", &kernel_module_);
+  kernel.ExportData("Core.Counter", &counter, sizeof(counter));
+  Domain& ext = linker_.CreateDomain("ext", &ext_module_);
+  ext.ImportData("Core.Counter");
+  ext.Resolve(kernel);
+  size_t size = 0;
+  auto* p = static_cast<int64_t*>(ext.GetData("Core.Counter", &size));
+  EXPECT_EQ(*p, 5);
+  EXPECT_EQ(size, sizeof(int64_t));
+}
+
+TEST_F(LinkerTest, UnknownSymbolLookupThrows) {
+  Domain& ext = linker_.CreateDomain("ext", &ext_module_);
+  EXPECT_THROW((ext.GetProcedure<int64_t, int64_t, int64_t>("Nope")),
+               LinkError);
+}
+
+}  // namespace
+}  // namespace spin

@@ -1,0 +1,100 @@
+// Tests for the canonical-guard pattern matcher behind the decision-tree
+// optimization.
+#include <gtest/gtest.h>
+
+#include "src/micro/pattern.h"
+
+namespace spin {
+namespace micro {
+namespace {
+
+TEST(PatternTest, MatchesUnmaskedFieldEq) {
+  Program guard = GuardArgFieldEq(1, 0, 36, 2, ~0ull, 0x1234);
+  FieldEqPattern pattern;
+  ASSERT_TRUE(MatchFieldEq(guard, &pattern));
+  EXPECT_EQ(pattern.arg, 0);
+  EXPECT_EQ(pattern.offset, 36u);
+  EXPECT_EQ(pattern.width, 2);
+  EXPECT_EQ(pattern.mask, ~0ull);
+  EXPECT_EQ(pattern.value, 0x1234u);
+}
+
+TEST(PatternTest, MatchesMaskedFieldEq) {
+  Program guard = GuardArgFieldEq(2, 1, 8, 4, 0x00ff00ff, 0x00120034);
+  FieldEqPattern pattern;
+  ASSERT_TRUE(MatchFieldEq(guard, &pattern));
+  EXPECT_EQ(pattern.arg, 1);
+  EXPECT_EQ(pattern.offset, 8u);
+  EXPECT_EQ(pattern.width, 4);
+  EXPECT_EQ(pattern.mask, 0x00ff00ffu);
+  EXPECT_EQ(pattern.value, 0x00120034u);
+}
+
+TEST(PatternTest, SameFieldGroupsOnEverythingButValue) {
+  FieldEqPattern a;
+  FieldEqPattern b;
+  a.arg = b.arg = 0;
+  a.offset = b.offset = 36;
+  a.width = b.width = 2;
+  a.mask = b.mask = ~0ull;
+  a.value = 1;
+  b.value = 2;
+  EXPECT_TRUE(a.SameField(b));
+  b.offset = 34;
+  EXPECT_FALSE(a.SameField(b));
+}
+
+TEST(PatternTest, RejectsOtherShapes) {
+  uint64_t cell = 0;
+  EXPECT_FALSE(MatchFieldEq(GuardGlobalEq(&cell, 1), nullptr));
+  EXPECT_FALSE(MatchFieldEq(ReturnConst(1, 1, true), nullptr));
+  EXPECT_FALSE(MatchFieldEq(IncrementGlobal(&cell, 1), nullptr));
+  // A not-equal comparison is not the field-eq shape.
+  Program ne = std::move(ProgramBuilder(1, true)
+                             .LoadArg(0, 0)
+                             .LoadField(1, 0, 4, 8)
+                             .LoadImm(2, 7)
+                             .CmpNe(3, 1, 2)
+                             .Ret(3))
+                   .Build();
+  EXPECT_FALSE(MatchFieldEq(ne, nullptr));
+}
+
+TEST(PatternTest, RejectsBrokenDataflow) {
+  // Comparison against the wrong register (not the loaded field).
+  Program wrong = std::move(ProgramBuilder(1, true)
+                                .LoadArg(0, 0)
+                                .LoadField(1, 0, 4, 8)
+                                .LoadImm(2, 7)
+                                .CmpEq(3, 0, 2)  // compares the pointer!
+                                .Ret(3))
+                      .Build();
+  EXPECT_FALSE(MatchFieldEq(wrong, nullptr));
+
+  // Return of a register other than the comparison result.
+  Program wrong_ret = std::move(ProgramBuilder(1, true)
+                                    .LoadArg(0, 0)
+                                    .LoadField(1, 0, 4, 8)
+                                    .LoadImm(2, 7)
+                                    .CmpEq(3, 1, 2)
+                                    .Ret(1))
+                          .Build();
+  EXPECT_FALSE(MatchFieldEq(wrong_ret, nullptr));
+}
+
+TEST(PatternTest, AcceptsSwappedCompareOperands) {
+  Program swapped = std::move(ProgramBuilder(1, true)
+                                  .LoadArg(0, 0)
+                                  .LoadField(1, 0, 4, 8)
+                                  .LoadImm(2, 7)
+                                  .CmpEq(3, 2, 1)  // imm on the left
+                                  .Ret(3))
+                        .Build();
+  FieldEqPattern pattern;
+  EXPECT_TRUE(MatchFieldEq(swapped, &pattern));
+  EXPECT_EQ(pattern.value, 7u);
+}
+
+}  // namespace
+}  // namespace micro
+}  // namespace spin

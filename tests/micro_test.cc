@@ -1,0 +1,203 @@
+// Tests for the micro-program IR: builder, validator (including the
+// FUNCTIONAL purity rule of §2.3), and interpreter.
+#include <gtest/gtest.h>
+
+#include "src/micro/interp.h"
+#include "src/micro/program.h"
+
+namespace spin {
+namespace micro {
+namespace {
+
+TEST(MicroValidateTest, EmptyProgramRejected) {
+  Program p;
+  EXPECT_EQ(p.Validate(), ValidateStatus::kEmpty);
+}
+
+TEST(MicroValidateTest, MissingTerminator) {
+  Program p({{Op::kLoadImm, 0, 0, 0, 1}}, 0, false);
+  EXPECT_EQ(p.Validate(), ValidateStatus::kMissingTerminator);
+}
+
+TEST(MicroValidateTest, BadRegisterRejected) {
+  Program p({{Op::kLoadImm, 9, 0, 0, 1}, {Op::kRet, 0, 0, 0, 0}}, 0, false);
+  EXPECT_EQ(p.Validate(), ValidateStatus::kBadRegister);
+}
+
+TEST(MicroValidateTest, BadArgIndexRejected) {
+  Program p({{Op::kLoadArg, 0, 0, 0, 2}, {Op::kRet, 0, 0, 0, 0}}, 2, false);
+  EXPECT_EQ(p.Validate(), ValidateStatus::kBadArgIndex);
+}
+
+TEST(MicroValidateTest, BackwardJumpRejected) {
+  Program p({{Op::kLoadImm, 0, 0, 0, 1},
+             {Op::kJmp, 0, 0, 0, 0},
+             {Op::kRetImm, 0, 0, 0, 0}},
+            0, false);
+  EXPECT_EQ(p.Validate(), ValidateStatus::kBackwardJump);
+}
+
+TEST(MicroValidateTest, JumpOutOfRangeRejected) {
+  Program p({{Op::kJmp, 0, 0, 0, 5}, {Op::kRetImm, 0, 0, 0, 0}}, 0, false);
+  EXPECT_EQ(p.Validate(), ValidateStatus::kJumpOutOfRange);
+}
+
+TEST(MicroValidateTest, FunctionalProgramsMayNotStore) {
+  // The §2.3 property: guards are FUNCTIONAL, verified mechanically.
+  uint64_t g = 0;
+  Program impure = IncrementGlobal(&g, 0);
+  EXPECT_EQ(impure.Validate(), ValidateStatus::kOk);
+  Program as_functional(impure.code(), impure.num_args(), /*functional=*/true);
+  EXPECT_EQ(as_functional.Validate(), ValidateStatus::kImpureFunctional);
+}
+
+TEST(MicroValidateTest, ShiftAmountBounded) {
+  Program p({{Op::kLoadImm, 0, 0, 0, 1},
+             {Op::kShlImm, 0, 0, 0, 64},
+             {Op::kRet, 0, 0, 0, 0}},
+            0, false);
+  EXPECT_EQ(p.Validate(), ValidateStatus::kBadShift);
+}
+
+TEST(MicroInterpTest, GuardGlobalEq) {
+  uint64_t global = 42;
+  Program guard = GuardGlobalEq(&global, 42);
+  ASSERT_EQ(guard.Validate(), ValidateStatus::kOk);
+  EXPECT_TRUE(guard.functional());
+  EXPECT_EQ(::spin::micro::Run(guard, nullptr, 0), 1u);
+  global = 41;
+  EXPECT_EQ(::spin::micro::Run(guard, nullptr, 0), 0u);
+}
+
+TEST(MicroInterpTest, GuardArgFieldEq) {
+  struct Header {
+    uint32_t src;
+    uint16_t port;
+  } header{7, 0x1234};
+  // Guard: args[0]->port == 0x1234 (16-bit field).
+  Program guard = GuardArgFieldEq(1, 0, offsetof(Header, port), 2, ~0ull,
+                                  0x1234);
+  ASSERT_EQ(guard.Validate(), ValidateStatus::kOk);
+  uint64_t args[1] = {reinterpret_cast<uintptr_t>(&header)};
+  EXPECT_EQ(::spin::micro::Run(guard, args, 1), 1u);
+  header.port = 0x9999;
+  EXPECT_EQ(::spin::micro::Run(guard, args, 1), 0u);
+}
+
+TEST(MicroInterpTest, IncrementGlobal) {
+  uint64_t global = 10;
+  Program handler = IncrementGlobal(&global, 0);
+  ASSERT_EQ(handler.Validate(), ValidateStatus::kOk);
+  ::spin::micro::Run(handler, nullptr, 0);
+  ::spin::micro::Run(handler, nullptr, 0);
+  EXPECT_EQ(global, 12u);
+}
+
+TEST(MicroInterpTest, ArithmeticAndCompare) {
+  // f(a, b) = (a + b) * ... exercise add/sub/xor/shl and signed compare.
+  Program p = std::move(ProgramBuilder(2, true)
+                            .LoadArg(0, 0)
+                            .LoadArg(1, 1)
+                            .Add(2, 0, 1)       // r2 = a + b
+                            .ShlImm(3, 2, 4)    // r3 = (a+b) << 4
+                            .Sub(4, 3, 1)       // r4 = r3 - b
+                            .Ret(4))
+                   .Build();
+  ASSERT_EQ(p.Validate(), ValidateStatus::kOk);
+  uint64_t args[2] = {3, 5};
+  EXPECT_EQ(::spin::micro::Run(p, args, 2), ((3ull + 5) << 4) - 5);
+}
+
+TEST(MicroInterpTest, SignedCompare) {
+  Program p = std::move(ProgramBuilder(2, true)
+                            .LoadArg(0, 0)
+                            .LoadArg(1, 1)
+                            .CmpLtS(2, 0, 1)
+                            .Ret(2))
+                   .Build();
+  uint64_t neg_one = static_cast<uint64_t>(-1);
+  uint64_t args1[2] = {neg_one, 1};
+  EXPECT_EQ(::spin::micro::Run(p, args1, 2), 1u) << "-1 < 1 signed";
+  uint64_t args2[2] = {neg_one, 1};
+  Program pu = std::move(ProgramBuilder(2, true)
+                             .LoadArg(0, 0)
+                             .LoadArg(1, 1)
+                             .CmpLtU(2, 0, 1)
+                             .Ret(2))
+                    .Build();
+  EXPECT_EQ(::spin::micro::Run(pu, args2, 2), 0u) << "0xffff... > 1 unsigned";
+}
+
+TEST(MicroInterpTest, ConditionalJump) {
+  // if (a == 0) return 100; else return 200;
+  ProgramBuilder b(1, true);
+  b.LoadArg(0, 0);
+  b.Not(1, 0);  // r1 = (a == 0)
+  size_t jz = b.Jz(1);
+  b.RetImm(100);
+  b.PatchJumpTarget(jz);
+  b.RetImm(200);
+  Program p = std::move(b).Build();
+  ASSERT_EQ(p.Validate(), ValidateStatus::kOk);
+  uint64_t zero[1] = {0};
+  uint64_t one[1] = {1};
+  EXPECT_EQ(::spin::micro::Run(p, zero, 1), 100u);
+  EXPECT_EQ(::spin::micro::Run(p, one, 1), 200u);
+}
+
+TEST(MicroInterpTest, NarrowLoadsZeroExtend) {
+  uint64_t cell = 0xffeeddccbbaa9988ull;
+  for (int width : {1, 2, 4, 8}) {
+    Program p = std::move(ProgramBuilder(0, true)
+                              .LoadGlobal(0, &cell, width)
+                              .Ret(0))
+                     .Build();
+    uint64_t mask = width == 8 ? ~0ull : ((1ull << (8 * width)) - 1);
+    EXPECT_EQ(::spin::micro::Run(p, nullptr, 0), cell & mask) << "width " << width;
+  }
+}
+
+TEST(MicroInterpTest, NarrowStores) {
+  uint64_t cell = 0;
+  Program p = std::move(ProgramBuilder(0, false)
+                            .LoadImm(0, 0x1122334455667788ull)
+                            .StoreGlobal(&cell, 0, 2)
+                            .RetImm(0))
+                   .Build();
+  ASSERT_EQ(p.Validate(), ValidateStatus::kOk);
+  ::spin::micro::Run(p, nullptr, 0);
+  EXPECT_EQ(cell, 0x7788u);
+}
+
+TEST(MicroInterpTest, StoreFieldThroughPointerArg) {
+  uint64_t record[2] = {0, 0};
+  Program p = std::move(ProgramBuilder(1, false)
+                            .LoadArg(0, 0)
+                            .LoadImm(1, 99)
+                            .StoreField(0, 8, 1, 8)
+                            .Ret(1))
+                   .Build();
+  ASSERT_EQ(p.Validate(), ValidateStatus::kOk);
+  uint64_t args[1] = {reinterpret_cast<uintptr_t>(record)};
+  EXPECT_EQ(::spin::micro::Run(p, args, 1), 99u);
+  EXPECT_EQ(record[1], 99u);
+  EXPECT_EQ(record[0], 0u);
+}
+
+TEST(MicroProgramTest, ToStringListsInstructions) {
+  uint64_t g = 0;
+  Program p = GuardGlobalEq(&g, 1);
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("load_global"), std::string::npos);
+  EXPECT_NE(s.find("cmp_eq"), std::string::npos);
+}
+
+TEST(MicroProgramTest, CostIsInstructionCount) {
+  uint64_t g = 0;
+  EXPECT_EQ(GuardGlobalEq(&g, 1).Cost(), 4u);
+  EXPECT_EQ(ReturnConst(0, 0, true).Cost(), 1u);
+}
+
+}  // namespace
+}  // namespace micro
+}  // namespace spin

@@ -1,0 +1,148 @@
+// Tests for epoch-based reclamation: the mechanism behind the paper's
+// atomic handler-list replacement (§3).
+#include "src/rt/epoch.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace spin {
+namespace {
+
+struct Tracked {
+  explicit Tracked(std::atomic<int>& counter) : counter(counter) {
+    counter.fetch_add(1);
+  }
+  ~Tracked() { counter.fetch_sub(1); }
+  std::atomic<int>& counter;
+};
+
+void DeleteTracked(void* p) { delete static_cast<Tracked*>(p); }
+
+TEST(EpochTest, RetireEventuallyFrees) {
+  EpochDomain domain;
+  std::atomic<int> live{0};
+  domain.Retire(new Tracked(live), DeleteTracked);
+  EXPECT_EQ(live.load(), 1);
+  domain.Synchronize();
+  EXPECT_EQ(live.load(), 0);
+}
+
+TEST(EpochTest, GuardBlocksReclamation) {
+  EpochDomain domain;
+  std::atomic<int> live{0};
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+
+  std::thread reader([&] {
+    EpochDomain::Guard guard(domain);
+    entered.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!entered.load()) {
+    std::this_thread::yield();
+  }
+
+  domain.Retire(new Tracked(live), DeleteTracked);
+  // The reader pins its entry epoch; Flush cannot advance past it twice.
+  for (int i = 0; i < 10; ++i) {
+    domain.Flush();
+  }
+  EXPECT_EQ(live.load(), 1) << "object freed while a guard was active";
+
+  release.store(true);
+  reader.join();
+  domain.Synchronize();
+  EXPECT_EQ(live.load(), 0);
+}
+
+TEST(EpochTest, NestedGuards) {
+  EpochDomain domain;
+  std::atomic<int> live{0};
+  {
+    EpochDomain::Guard outer(domain);
+    {
+      EpochDomain::Guard inner(domain);
+    }
+    // Still inside the outer guard: retire from another thread and verify
+    // the object survives (inner guard exit must not unpin the epoch).
+    std::thread writer(
+        [&] { domain.Retire(new Tracked(live), DeleteTracked); });
+    writer.join();
+    std::thread flusher([&] {
+      for (int i = 0; i < 10; ++i) {
+        domain.Flush();
+      }
+    });
+    flusher.join();
+    EXPECT_EQ(live.load(), 1);
+  }
+  domain.Synchronize();
+  EXPECT_EQ(live.load(), 0);
+}
+
+TEST(EpochTest, ManyRetiresTriggerAutomaticFlush) {
+  EpochDomain domain;
+  std::atomic<int> live{0};
+  for (int i = 0; i < 1000; ++i) {
+    domain.Retire(new Tracked(live), DeleteTracked);
+  }
+  // The automatic flush threshold must keep the backlog bounded when no
+  // readers are active.
+  EXPECT_LT(domain.retired_count(), 200u);
+  domain.Synchronize();
+  EXPECT_EQ(live.load(), 0);
+}
+
+// Stress: concurrent readers dereference a shared pointer that writers
+// continuously replace and retire. Any use-after-free crashes or corrupts
+// the sentinel.
+TEST(EpochTest, ConcurrentReadersAndWriters) {
+  EpochDomain domain;
+  struct Node {
+    uint64_t sentinel;
+  };
+  std::atomic<Node*> current{new Node{0xabcdef12345678ull}};
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochDomain::Guard guard(domain);
+        Node* node = current.load(std::memory_order_acquire);
+        if (node->sentinel != 0xabcdef12345678ull) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      Node* fresh = new Node{0xabcdef12345678ull};
+      Node* old = current.exchange(fresh, std::memory_order_acq_rel);
+      // Poison, then retire: a reader holding `old` across reclamation
+      // would observe the poisoned sentinel or crash.
+      domain.Retire(old, +[](void* p) {
+        static_cast<Node*>(p)->sentinel = 0xdeadull;
+        delete static_cast<Node*>(p);
+      });
+    }
+  });
+  writer.join();
+  stop.store(true);
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+  domain.Synchronize();
+  delete current.load();
+}
+
+}  // namespace
+}  // namespace spin

@@ -1,0 +1,60 @@
+#include "src/rt/thread_pool.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+namespace spin {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SpawnModeRunsDetached) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] { count.fetch_add(1); }, AsyncMode::kSpawn);
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, DrainWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Drain();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  });
+  pool.Drain();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrains) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace spin

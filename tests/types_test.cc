@@ -1,0 +1,181 @@
+// Tests for runtime type information and the §2.4 typechecking rules.
+#include <gtest/gtest.h>
+
+#include "src/types/module.h"
+#include "src/types/signature.h"
+#include "src/types/type_registry.h"
+#include "src/types/typecheck.h"
+
+namespace spin {
+namespace {
+
+struct Base {};
+struct Derived : Base {};
+struct Other {};
+
+TEST(TypeRegistryTest, InternIsStable) {
+  EXPECT_EQ(TypeOf<Base>(), TypeOf<Base>());
+  EXPECT_NE(TypeOf<Base>(), TypeOf<Derived>());
+}
+
+TEST(TypeRegistryTest, SubtypeChain) {
+  DeclareSubtype<Derived, Base>();
+  auto& reg = TypeRegistry::Global();
+  EXPECT_TRUE(reg.IsSubtype(TypeOf<Derived>(), TypeOf<Base>()));
+  EXPECT_FALSE(reg.IsSubtype(TypeOf<Base>(), TypeOf<Derived>()));
+  EXPECT_FALSE(reg.IsSubtype(TypeOf<Other>(), TypeOf<Base>()));
+  // Everything is a subtype of REFANY (the untyped reference).
+  EXPECT_TRUE(reg.IsSubtype(TypeOf<Other>(), kUntypedId));
+  // Reflexivity.
+  EXPECT_TRUE(reg.IsSubtype(TypeOf<Base>(), TypeOf<Base>()));
+}
+
+TEST(SignatureTest, IntegralClasses) {
+  ProcSig sig = MakeProcSig<void(int32_t, uint32_t, int64_t, uint64_t, bool)>();
+  ASSERT_EQ(sig.params.size(), 5u);
+  EXPECT_EQ(sig.params[0].cls, TypeClass::kInt32);
+  EXPECT_EQ(sig.params[1].cls, TypeClass::kUInt32);
+  EXPECT_EQ(sig.params[2].cls, TypeClass::kInt64);
+  EXPECT_EQ(sig.params[3].cls, TypeClass::kUInt64);
+  EXPECT_EQ(sig.params[4].cls, TypeClass::kBool);
+  EXPECT_EQ(sig.result.cls, TypeClass::kVoid);
+}
+
+TEST(SignatureTest, PointerAndReferenceParams) {
+  ProcSig sig = MakeProcSig<bool(Base*, Derived&)>();
+  ASSERT_EQ(sig.params.size(), 2u);
+  EXPECT_EQ(sig.params[0].cls, TypeClass::kPointer);
+  EXPECT_FALSE(sig.params[0].by_ref);
+  EXPECT_EQ(sig.params[0].ref_type, TypeOf<Base>());
+  EXPECT_EQ(sig.params[1].cls, TypeClass::kPointer);
+  EXPECT_TRUE(sig.params[1].by_ref);
+  EXPECT_EQ(sig.params[1].ref_type, TypeOf<Derived>());
+  EXPECT_EQ(sig.result.cls, TypeClass::kBool);
+}
+
+TEST(SignatureTest, SlotCodecRoundTrips) {
+  EXPECT_EQ(SlotCodec<int32_t>::Unpack(SlotCodec<int32_t>::Pack(-7)), -7);
+  EXPECT_EQ(SlotCodec<uint64_t>::Unpack(SlotCodec<uint64_t>::Pack(~0ull)),
+            ~0ull);
+  EXPECT_EQ(SlotCodec<bool>::Unpack(SlotCodec<bool>::Pack(true)), true);
+  EXPECT_EQ(SlotCodec<double>::Unpack(SlotCodec<double>::Pack(2.5)), 2.5);
+  Base obj;
+  EXPECT_EQ(SlotCodec<Base*>::Unpack(SlotCodec<Base*>::Pack(&obj)), &obj);
+  uint64_t slot = SlotCodec<Base&>::Pack(obj);
+  EXPECT_EQ(&SlotCodec<Base&>::Unpack(slot), &obj);
+}
+
+TEST(SignatureTest, NegativeInt32SignExtendsInSlot) {
+  // The JIT passes slots in 64-bit registers; the SysV ABI expects
+  // sign-extension for signed 32-bit values.
+  uint64_t slot = SlotCodec<int32_t>::Pack(-1);
+  EXPECT_EQ(slot, ~0ull);
+}
+
+TEST(SignatureTest, ToStringMentionsAttributesAndVar) {
+  ProcSig sig = MakeProcSig<bool(int32_t, Base&)>();
+  sig.functional = true;
+  std::string s = sig.ToString();
+  EXPECT_NE(s.find("FUNCTIONAL"), std::string::npos);
+  EXPECT_NE(s.find("VAR"), std::string::npos);
+}
+
+// --- Typechecking ----------------------------------------------------------
+
+class TypecheckTest : public ::testing::Test {
+ protected:
+  ProcSig event_ = MakeProcSig<bool(int32_t, Base*)>();
+};
+
+TEST_F(TypecheckTest, ExactMatchOk) {
+  ProcSig handler = MakeProcSig<bool(int32_t, Base*)>();
+  EXPECT_EQ(CheckHandler(event_, handler, {}), TypecheckStatus::kOk);
+}
+
+TEST_F(TypecheckTest, ArityMismatch) {
+  ProcSig handler = MakeProcSig<bool(int32_t)>();
+  EXPECT_EQ(CheckHandler(event_, handler, {}),
+            TypecheckStatus::kArityMismatch);
+}
+
+TEST_F(TypecheckTest, ParamMismatch) {
+  ProcSig handler = MakeProcSig<bool(int64_t, Base*)>();
+  EXPECT_EQ(CheckHandler(event_, handler, {}),
+            TypecheckStatus::kParamMismatch);
+}
+
+TEST_F(TypecheckTest, PointeeTypeMismatch) {
+  ProcSig handler = MakeProcSig<bool(int32_t, Other*)>();
+  EXPECT_EQ(CheckHandler(event_, handler, {}),
+            TypecheckStatus::kParamMismatch);
+}
+
+TEST_F(TypecheckTest, ResultMismatch) {
+  ProcSig handler = MakeProcSig<void(int32_t, Base*)>();
+  EXPECT_EQ(CheckHandler(event_, handler, {}),
+            TypecheckStatus::kResultMismatch);
+}
+
+TEST_F(TypecheckTest, ClosureFormChecksSubtype) {
+  DeclareSubtype<Derived, Base>();
+  ProcSig handler = MakeProcSig<bool(Base*, int32_t, Base*)>();
+  TypecheckOptions opts;
+  opts.has_closure = true;
+  opts.closure_type = TypeOf<Derived>();
+  EXPECT_EQ(CheckHandler(event_, handler, opts), TypecheckStatus::kOk);
+
+  opts.closure_type = TypeOf<Other>();
+  EXPECT_EQ(CheckHandler(event_, handler, opts),
+            TypecheckStatus::kClosureNotSubtype);
+}
+
+TEST_F(TypecheckTest, ClosureParamMustBeReference) {
+  ProcSig handler = MakeProcSig<bool(int32_t, int32_t, Base*)>();
+  TypecheckOptions opts;
+  opts.has_closure = true;
+  opts.closure_type = TypeOf<Derived>();
+  EXPECT_EQ(CheckHandler(event_, handler, opts),
+            TypecheckStatus::kMissingClosureParam);
+}
+
+TEST_F(TypecheckTest, FilterMayTakeByValueParamByRef) {
+  ProcSig filter = MakeProcSig<bool(int32_t, Base*&)>();
+  TypecheckOptions opts;
+  EXPECT_EQ(CheckHandler(event_, filter, opts),
+            TypecheckStatus::kByRefNotAllowed)
+      << "by-ref widening requires filter installation";
+  opts.as_filter = true;
+  EXPECT_EQ(CheckHandler(event_, filter, opts), TypecheckStatus::kOk);
+}
+
+TEST_F(TypecheckTest, GuardMustBeFunctionalAndBoolean) {
+  ProcSig guard = MakeProcSig<bool(int32_t, Base*)>();
+  EXPECT_EQ(CheckGuard(event_, guard, {}),
+            TypecheckStatus::kGuardNotFunctional);
+  guard.functional = true;
+  EXPECT_EQ(CheckGuard(event_, guard, {}), TypecheckStatus::kOk);
+
+  ProcSig non_bool = MakeProcSig<int32_t(int32_t, Base*)>();
+  non_bool.functional = true;
+  EXPECT_EQ(CheckGuard(event_, non_bool, {}),
+            TypecheckStatus::kGuardNotBoolean);
+}
+
+TEST(AsyncEligibleTest, ByRefParamsForbidAsync) {
+  // "it is illegal to define as asynchronous an event that takes an
+  // argument by reference" (§2.6).
+  EXPECT_TRUE(AsyncEligible(MakeProcSig<void(int32_t, Base*)>()));
+  EXPECT_FALSE(AsyncEligible(MakeProcSig<void(int32_t, Base&)>()));
+}
+
+TEST(ModuleTest, IdentityAndEquality) {
+  Module a("ModuleA");
+  Module b("ModuleB");
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.name(), "ModuleA");
+}
+
+}  // namespace
+}  // namespace spin
