@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_google.dir/bench_google.cc.o"
+  "CMakeFiles/bench_google.dir/bench_google.cc.o.d"
+  "bench_google"
+  "bench_google.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_google.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_install.dir/bench_install.cc.o"
+  "CMakeFiles/bench_install.dir/bench_install.cc.o.d"
+  "bench_install"
+  "bench_install.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_install.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dispatch.dir/bench_table1_dispatch.cc.o"
+  "CMakeFiles/bench_table1_dispatch.dir/bench_table1_dispatch.cc.o.d"
+  "bench_table1_dispatch"
+  "bench_table1_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_udp.cc" "bench/CMakeFiles/bench_table2_udp.dir/bench_table2_udp.cc.o" "gcc" "bench/CMakeFiles/bench_table2_udp.dir/bench_table2_udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/spin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/spin_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/spin_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/micro/CMakeFiles/spin_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/spin_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

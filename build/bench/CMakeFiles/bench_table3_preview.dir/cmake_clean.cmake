@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_preview.dir/bench_table3_preview.cc.o"
+  "CMakeFiles/bench_table3_preview.dir/bench_table3_preview.cc.o.d"
+  "bench_table3_preview"
+  "bench_table3_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

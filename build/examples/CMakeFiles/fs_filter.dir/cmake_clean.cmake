@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_filter.dir/fs_filter.cpp.o"
+  "CMakeFiles/fs_filter.dir/fs_filter.cpp.o.d"
+  "fs_filter"
+  "fs_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_emulator.dir/mach_emulator.cpp.o"
+  "CMakeFiles/mach_emulator.dir/mach_emulator.cpp.o.d"
+  "mach_emulator"
+  "mach_emulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uthreads.dir/uthreads.cpp.o"
+  "CMakeFiles/uthreads.dir/uthreads.cpp.o.d"
+  "uthreads"
+  "uthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

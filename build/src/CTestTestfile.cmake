@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("rt")
+subdirs("types")
+subdirs("micro")
+subdirs("codegen")
+subdirs("core")
+subdirs("linker")
+subdirs("kernel")
+subdirs("sim")
+subdirs("net")
+subdirs("fs")
+subdirs("emul")
+subdirs("profile")

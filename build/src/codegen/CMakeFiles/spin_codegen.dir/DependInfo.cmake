@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/exec_memory.cc" "src/codegen/CMakeFiles/spin_codegen.dir/exec_memory.cc.o" "gcc" "src/codegen/CMakeFiles/spin_codegen.dir/exec_memory.cc.o.d"
+  "/root/repo/src/codegen/lir.cc" "src/codegen/CMakeFiles/spin_codegen.dir/lir.cc.o" "gcc" "src/codegen/CMakeFiles/spin_codegen.dir/lir.cc.o.d"
+  "/root/repo/src/codegen/peephole.cc" "src/codegen/CMakeFiles/spin_codegen.dir/peephole.cc.o" "gcc" "src/codegen/CMakeFiles/spin_codegen.dir/peephole.cc.o.d"
+  "/root/repo/src/codegen/stub_compiler.cc" "src/codegen/CMakeFiles/spin_codegen.dir/stub_compiler.cc.o" "gcc" "src/codegen/CMakeFiles/spin_codegen.dir/stub_compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/spin_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/micro/CMakeFiles/spin_micro.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

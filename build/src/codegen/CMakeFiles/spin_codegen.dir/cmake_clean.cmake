@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_codegen.dir/exec_memory.cc.o"
+  "CMakeFiles/spin_codegen.dir/exec_memory.cc.o.d"
+  "CMakeFiles/spin_codegen.dir/lir.cc.o"
+  "CMakeFiles/spin_codegen.dir/lir.cc.o.d"
+  "CMakeFiles/spin_codegen.dir/peephole.cc.o"
+  "CMakeFiles/spin_codegen.dir/peephole.cc.o.d"
+  "CMakeFiles/spin_codegen.dir/stub_compiler.cc.o"
+  "CMakeFiles/spin_codegen.dir/stub_compiler.cc.o.d"
+  "libspin_codegen.a"
+  "libspin_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_core.dir/dispatch_state.cc.o"
+  "CMakeFiles/spin_core.dir/dispatch_state.cc.o.d"
+  "CMakeFiles/spin_core.dir/dispatcher.cc.o"
+  "CMakeFiles/spin_core.dir/dispatcher.cc.o.d"
+  "CMakeFiles/spin_core.dir/ephemeral.cc.o"
+  "CMakeFiles/spin_core.dir/ephemeral.cc.o.d"
+  "CMakeFiles/spin_core.dir/errors.cc.o"
+  "CMakeFiles/spin_core.dir/errors.cc.o.d"
+  "libspin_core.a"
+  "libspin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_emul.dir/mach.cc.o"
+  "CMakeFiles/spin_emul.dir/mach.cc.o.d"
+  "CMakeFiles/spin_emul.dir/osf.cc.o"
+  "CMakeFiles/spin_emul.dir/osf.cc.o.d"
+  "libspin_emul.a"
+  "libspin_emul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_emul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

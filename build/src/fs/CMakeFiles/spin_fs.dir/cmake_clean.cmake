@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_fs.dir/logfs.cc.o"
+  "CMakeFiles/spin_fs.dir/logfs.cc.o.d"
+  "CMakeFiles/spin_fs.dir/vfs.cc.o"
+  "CMakeFiles/spin_fs.dir/vfs.cc.o.d"
+  "libspin_fs.a"
+  "libspin_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspin_fs.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_kernel.dir/kernel.cc.o"
+  "CMakeFiles/spin_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/spin_kernel.dir/vm.cc.o"
+  "CMakeFiles/spin_kernel.dir/vm.cc.o.d"
+  "libspin_kernel.a"
+  "libspin_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

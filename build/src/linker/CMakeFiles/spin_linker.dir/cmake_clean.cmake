@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_linker.dir/domain.cc.o"
+  "CMakeFiles/spin_linker.dir/domain.cc.o.d"
+  "libspin_linker.a"
+  "libspin_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/micro/interp.cc" "src/micro/CMakeFiles/spin_micro.dir/interp.cc.o" "gcc" "src/micro/CMakeFiles/spin_micro.dir/interp.cc.o.d"
+  "/root/repo/src/micro/pattern.cc" "src/micro/CMakeFiles/spin_micro.dir/pattern.cc.o" "gcc" "src/micro/CMakeFiles/spin_micro.dir/pattern.cc.o.d"
+  "/root/repo/src/micro/program.cc" "src/micro/CMakeFiles/spin_micro.dir/program.cc.o" "gcc" "src/micro/CMakeFiles/spin_micro.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/spin_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_micro.dir/interp.cc.o"
+  "CMakeFiles/spin_micro.dir/interp.cc.o.d"
+  "CMakeFiles/spin_micro.dir/pattern.cc.o"
+  "CMakeFiles/spin_micro.dir/pattern.cc.o.d"
+  "CMakeFiles/spin_micro.dir/program.cc.o"
+  "CMakeFiles/spin_micro.dir/program.cc.o.d"
+  "libspin_micro.a"
+  "libspin_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

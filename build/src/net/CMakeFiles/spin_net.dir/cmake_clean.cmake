@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_net.dir/compress.cc.o"
+  "CMakeFiles/spin_net.dir/compress.cc.o.d"
+  "CMakeFiles/spin_net.dir/host.cc.o"
+  "CMakeFiles/spin_net.dir/host.cc.o.d"
+  "CMakeFiles/spin_net.dir/packet.cc.o"
+  "CMakeFiles/spin_net.dir/packet.cc.o.d"
+  "CMakeFiles/spin_net.dir/tcp.cc.o"
+  "CMakeFiles/spin_net.dir/tcp.cc.o.d"
+  "libspin_net.a"
+  "libspin_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_profile.dir/profile.cc.o"
+  "CMakeFiles/spin_profile.dir/profile.cc.o.d"
+  "libspin_profile.a"
+  "libspin_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

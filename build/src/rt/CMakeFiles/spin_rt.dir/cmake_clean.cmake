@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_rt.dir/epoch.cc.o"
+  "CMakeFiles/spin_rt.dir/epoch.cc.o.d"
+  "CMakeFiles/spin_rt.dir/panic.cc.o"
+  "CMakeFiles/spin_rt.dir/panic.cc.o.d"
+  "CMakeFiles/spin_rt.dir/thread_pool.cc.o"
+  "CMakeFiles/spin_rt.dir/thread_pool.cc.o.d"
+  "libspin_rt.a"
+  "libspin_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/signature.cc" "src/types/CMakeFiles/spin_types.dir/signature.cc.o" "gcc" "src/types/CMakeFiles/spin_types.dir/signature.cc.o.d"
+  "/root/repo/src/types/type_registry.cc" "src/types/CMakeFiles/spin_types.dir/type_registry.cc.o" "gcc" "src/types/CMakeFiles/spin_types.dir/type_registry.cc.o.d"
+  "/root/repo/src/types/typecheck.cc" "src/types/CMakeFiles/spin_types.dir/typecheck.cc.o" "gcc" "src/types/CMakeFiles/spin_types.dir/typecheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/spin_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

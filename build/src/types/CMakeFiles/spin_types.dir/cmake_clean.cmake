@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_types.dir/signature.cc.o"
+  "CMakeFiles/spin_types.dir/signature.cc.o.d"
+  "CMakeFiles/spin_types.dir/type_registry.cc.o"
+  "CMakeFiles/spin_types.dir/type_registry.cc.o.d"
+  "CMakeFiles/spin_types.dir/typecheck.cc.o"
+  "CMakeFiles/spin_types.dir/typecheck.cc.o.d"
+  "libspin_types.a"
+  "libspin_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_jit_test.dir/codegen_jit_test.cc.o"
+  "CMakeFiles/codegen_jit_test.dir/codegen_jit_test.cc.o.d"
+  "codegen_jit_test"
+  "codegen_jit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_jit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

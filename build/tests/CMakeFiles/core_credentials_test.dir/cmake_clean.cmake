@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_credentials_test.dir/core_credentials_test.cc.o"
+  "CMakeFiles/core_credentials_test.dir/core_credentials_test.cc.o.d"
+  "core_credentials_test"
+  "core_credentials_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_credentials_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

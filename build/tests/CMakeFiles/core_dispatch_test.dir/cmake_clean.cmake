@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dispatch_test.dir/core_dispatch_test.cc.o"
+  "CMakeFiles/core_dispatch_test.dir/core_dispatch_test.cc.o.d"
+  "core_dispatch_test"
+  "core_dispatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dispatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

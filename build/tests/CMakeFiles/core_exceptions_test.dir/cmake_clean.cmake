@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_exceptions_test.dir/core_exceptions_test.cc.o"
+  "CMakeFiles/core_exceptions_test.dir/core_exceptions_test.cc.o.d"
+  "core_exceptions_test"
+  "core_exceptions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_exceptions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emul_test.dir/emul_test.cc.o"
+  "CMakeFiles/emul_test.dir/emul_test.cc.o.d"
+  "emul_test"
+  "emul_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

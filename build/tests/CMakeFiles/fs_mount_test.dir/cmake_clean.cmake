@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_mount_test.dir/fs_mount_test.cc.o"
+  "CMakeFiles/fs_mount_test.dir/fs_mount_test.cc.o.d"
+  "fs_mount_test"
+  "fs_mount_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_mount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

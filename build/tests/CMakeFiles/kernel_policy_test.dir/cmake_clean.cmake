@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_policy_test.dir/kernel_policy_test.cc.o"
+  "CMakeFiles/kernel_policy_test.dir/kernel_policy_test.cc.o.d"
+  "kernel_policy_test"
+  "kernel_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

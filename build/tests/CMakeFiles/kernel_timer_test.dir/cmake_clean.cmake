@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_timer_test.dir/kernel_timer_test.cc.o"
+  "CMakeFiles/kernel_timer_test.dir/kernel_timer_test.cc.o.d"
+  "kernel_timer_test"
+  "kernel_timer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

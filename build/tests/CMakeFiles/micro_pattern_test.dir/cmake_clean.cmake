@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pattern_test.dir/micro_pattern_test.cc.o"
+  "CMakeFiles/micro_pattern_test.dir/micro_pattern_test.cc.o.d"
+  "micro_pattern_test"
+  "micro_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

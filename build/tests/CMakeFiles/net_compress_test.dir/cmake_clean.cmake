@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_compress_test.dir/net_compress_test.cc.o"
+  "CMakeFiles/net_compress_test.dir/net_compress_test.cc.o.d"
+  "net_compress_test"
+  "net_compress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

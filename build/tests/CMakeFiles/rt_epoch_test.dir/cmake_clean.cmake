@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_epoch_test.dir/rt_epoch_test.cc.o"
+  "CMakeFiles/rt_epoch_test.dir/rt_epoch_test.cc.o.d"
+  "rt_epoch_test"
+  "rt_epoch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_epoch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

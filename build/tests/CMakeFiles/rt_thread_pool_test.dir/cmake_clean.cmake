@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_thread_pool_test.dir/rt_thread_pool_test.cc.o"
+  "CMakeFiles/rt_thread_pool_test.dir/rt_thread_pool_test.cc.o.d"
+  "rt_thread_pool_test"
+  "rt_thread_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
