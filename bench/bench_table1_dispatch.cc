@@ -60,6 +60,11 @@ struct Runner<void(A...)> {
                           /*iters=*/100000) /
            1e3;
   }
+
+  static bench::LatencyStats MeasureRaiseStats(Event<void(A...)>& event) {
+    [[maybe_unused]] int64_t v = 1;
+    return bench::NsPerOpStats([&] { event.Raise(static_cast<A>(v)...); });
+  }
 };
 
 template <typename Sig>
@@ -82,6 +87,25 @@ double MeasureIntrinsic(const Module& module, IntrinsicFn intrinsic) {
   Dispatcher dispatcher;
   Event<Sig> event("Bench.Intrinsic", &module, intrinsic, &dispatcher);
   return Runner<Sig>::MeasureRaise(event);
+}
+
+template <typename Sig>
+bench::LatencyStats HandlerStats(const Module& module, int handlers,
+                                 int event_args, bool inline_micro) {
+  Dispatcher::Config config;
+  config.inline_micro = inline_micro;
+  Dispatcher dispatcher(config);
+  Event<Sig> event("Bench.Event", &module, nullptr, &dispatcher);
+  InstallBenchBindings(dispatcher, event, module, handlers, event_args);
+  return Runner<Sig>::MeasureRaiseStats(event);
+}
+
+template <typename Sig, typename IntrinsicFn>
+bench::LatencyStats IntrinsicStats(const Module& module,
+                                   IntrinsicFn intrinsic) {
+  Dispatcher dispatcher;
+  Event<Sig> event("Bench.Intrinsic", &module, intrinsic, &dispatcher);
+  return Runner<Sig>::MeasureRaiseStats(event);
 }
 
 }  // namespace
@@ -165,5 +189,20 @@ int main() {
   Rule('=');
   std::printf("expected shape: linear growth in handlers; inline < no-inline;"
               " intrinsic ~ proc call\n");
+
+  // Machine-readable latency distributions for representative cells.
+  std::printf("\nlatency distributions (JSON, 1 row per case):\n");
+  spin::bench::JsonRow(
+      "table1", "args1_proc_call",
+      spin::bench::NsPerOpStats([&] { call1(1); }));
+  spin::bench::JsonRow(
+      "table1", "args1_intrinsic",
+      spin::IntrinsicStats<void(int64_t)>(module, &spin::Intrinsic1));
+  spin::bench::JsonRow("table1", "args1_h10_no_inline",
+                       spin::HandlerStats<void(int64_t)>(
+                           module, 10, 1, /*inline_micro=*/false));
+  spin::bench::JsonRow("table1", "args1_h10_inline",
+                       spin::HandlerStats<void(int64_t)>(
+                           module, 10, 1, /*inline_micro=*/true));
   return 0;
 }

@@ -75,6 +75,22 @@ struct Result {
   double host_us;
 };
 
+// Latency distribution of the receive path (same setup as ReceivePathNs).
+spin::bench::LatencyStats ReceivePathStats(int guards, Mode mode) {
+  spin::Dispatcher dispatcher(ConfigFor(mode));
+  spin::net::Host beta("beta", 0x0a000002, &dispatcher);
+  std::vector<std::unique_ptr<spin::net::UdpSocket>> inactive;
+  for (int i = 0; i < guards - 1; ++i) {
+    inactive.push_back(std::make_unique<spin::net::UdpSocket>(
+        beta, static_cast<uint16_t>(5000 + i), nullptr));
+  }
+  spin::net::UdpSocket active(beta, kActivePort, nullptr);
+  spin::net::Packet packet = spin::net::MakeUdpPacket(
+      0x0a000001, beta.ip(), kEchoPort, kActivePort, "12345678");
+  return spin::bench::NsPerOpStats([&] { beta.Receive(packet); },
+                                   /*samples=*/10000);
+}
+
 Result RunPingPong(int guards) {
   spin::Dispatcher::Config config;
   config.inline_micro = false;  // the paper's configuration
@@ -170,5 +186,16 @@ int main() {
   std::printf("expected shape: wire-dominated base; receive path grows "
               "linearly in guards out-of-line,\nstays near-flat inlined or "
               "with the decision tree\n");
+
+  std::printf("\nlatency distributions (JSON, 1 row per case):\n");
+  for (int guards : {1, 50}) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "recv_g%d_out_of_line", guards);
+    spin::bench::JsonRow("table2", name,
+                         ReceivePathStats(guards, Mode::kOutOfLine));
+    std::snprintf(name, sizeof(name), "recv_g%d_inline", guards);
+    spin::bench::JsonRow("table2", name,
+                         ReceivePathStats(guards, Mode::kInline));
+  }
   return 0;
 }

@@ -47,6 +47,61 @@ inline void Rule(char c = '-', int width = 78) {
   std::putchar('\n');
 }
 
+// Per-op latency distribution. Unlike NsPerOp (a median of large-batch
+// averages), this times small batches so tail percentiles survive; exact
+// sample percentiles, not histogram buckets. `batch` amortizes the clock
+// reads — per-op resolution is clock cost / batch.
+struct LatencyStats {
+  double mean_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+template <typename F>
+LatencyStats NsPerOpStats(F&& fn, size_t samples = 20000, size_t batch = 8) {
+  for (size_t i = 0; i < samples / 10 + 1; ++i) {
+    fn();  // warmup
+  }
+  std::vector<uint64_t> lat(samples);
+  uint64_t total = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    uint64_t start = NowNs();
+    for (size_t b = 0; b < batch; ++b) {
+      fn();
+    }
+    uint64_t elapsed = NowNs() - start;
+    lat[s] = elapsed / batch;
+    total += elapsed;
+  }
+  std::sort(lat.begin(), lat.end());
+  LatencyStats stats;
+  stats.mean_ns = static_cast<double>(total) /
+                  static_cast<double>(samples * batch);
+  auto pct = [&](double q) {
+    return lat[static_cast<size_t>(static_cast<double>(samples - 1) * q)];
+  };
+  stats.p50_ns = pct(0.50);
+  stats.p90_ns = pct(0.90);
+  stats.p99_ns = pct(0.99);
+  stats.max_ns = lat.back();
+  return stats;
+}
+
+// One machine-readable result row per line, for scripts that trend the
+// benchmarks across commits.
+inline void JsonRow(const char* bench, const char* name,
+                    const LatencyStats& s) {
+  std::printf(
+      "{\"bench\":\"%s\",\"case\":\"%s\",\"mean_ns\":%.2f,\"p50_ns\":%llu,"
+      "\"p90_ns\":%llu,\"p99_ns\":%llu,\"max_ns\":%llu}\n",
+      bench, name, s.mean_ns, static_cast<unsigned long long>(s.p50_ns),
+      static_cast<unsigned long long>(s.p90_ns),
+      static_cast<unsigned long long>(s.p99_ns),
+      static_cast<unsigned long long>(s.max_ns));
+}
+
 }  // namespace bench
 }  // namespace spin
 

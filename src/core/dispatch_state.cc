@@ -6,6 +6,7 @@
 #include "src/core/ephemeral.h"
 #include "src/core/errors.h"
 #include "src/micro/interp.h"
+#include "src/obs/trace.h"
 #include "src/rt/clock.h"
 #include "src/rt/epoch.h"
 #include "src/rt/panic.h"
@@ -65,6 +66,13 @@ void ScheduleAsyncBinding(const DispatchTable& table,
   uint64_t budget = table.ephemeral_budget_ns;
   table.pool->Submit(
       [binding, slots, budget]() mutable {
+        bool tracing = obs::Enabled();
+        uint64_t start = tracing ? NowNs() : 0;
+        if (tracing) {
+          obs::FlightRecorder::Global().EmitAt(
+              obs::TraceKind::kAsyncExecute, binding->event->obs_name(),
+              start);
+        }
         uint64_t deadline =
             binding->ephemeral && budget != 0 ? NowNs() + budget : 0;
         uint64_t result = 0;
@@ -72,6 +80,10 @@ void ScheduleAsyncBinding(const DispatchTable& table,
           RunHandler(*binding, slots.data(), &result, deadline);
         } catch (const DispatchError&) {
           // Detached execution: nobody to report to (§2.6).
+        }
+        if (tracing) {
+          binding->event->metrics().Record(obs::DispatchKind::kAsync,
+                                           NowNs() - start);
         }
       },
       table.async_mode);
@@ -131,11 +143,18 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
   frame.result = table.InitialResult();
   int num_args = static_cast<int>(event.sig().params.size());
 
+  const bool tracing = obs::Enabled();
+
   if (table.stub != nullptr) {
     table.stub->entry()(&frame);
   } else {
-    for (const BindingHandle& binding : table.sync_bindings) {
+    for (size_t i = 0; i < table.sync_bindings.size(); ++i) {
+      const BindingHandle& binding = table.sync_bindings[i];
       if (!EvalGuards(*binding, frame.args)) {
+        if (tracing) {
+          obs::FlightRecorder::Global().Emit(obs::TraceKind::kGuardReject,
+                                             event.obs_name(), i);
+        }
         continue;
       }
       uint64_t deadline = binding->ephemeral && table.ephemeral_budget_ns != 0
@@ -145,6 +164,14 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
       if (!RunHandler(*binding, frame.args, &result, deadline)) {
         ++frame.aborted;
         continue;
+      }
+      if (tracing) {
+        obs::FlightRecorder::Global().Emit(obs::TraceKind::kHandlerFire,
+                                           event.obs_name(), i);
+        if (!binding->byref_params.empty()) {
+          obs::FlightRecorder::Global().Emit(obs::TraceKind::kFilterMutate,
+                                             event.obs_name(), i);
+        }
       }
       if (table.returns_value) {
         frame.result = table.policy == ResultPolicy::kLast &&
@@ -156,9 +183,19 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
     }
   }
 
-  for (const BindingHandle& binding : table.async_bindings) {
+  for (size_t i = 0; i < table.async_bindings.size(); ++i) {
+    const BindingHandle& binding = table.async_bindings[i];
     if (!EvalGuards(*binding, frame.args)) {
+      if (tracing) {
+        obs::FlightRecorder::Global().Emit(obs::TraceKind::kGuardReject,
+                                           event.obs_name(),
+                                           table.sync_bindings.size() + i);
+      }
       continue;
+    }
+    if (tracing) {
+      obs::FlightRecorder::Global().Emit(obs::TraceKind::kAsyncEnqueue,
+                                         event.obs_name(), i);
     }
     ScheduleAsyncBinding(table, binding, frame, num_args);
     ++frame.fired;
@@ -180,13 +217,20 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
 
 void EventBase::RaiseErased(RaiseFrame& frame) {
   Dispatcher& dispatcher = *owner_;
-  bool profiling = dispatcher.profiling();
-  uint64_t start = profiling ? NowNs() : 0;
+  const bool tracing = obs::Enabled();
+  const bool timed = tracing || dispatcher.profiling();
+  uint64_t start = timed ? NowNs() : 0;
+  if (tracing) {
+    obs::FlightRecorder::Global().EmitAt(obs::TraceKind::kRaiseBegin,
+                                         obs_name_, start);
+  }
   bool promote = false;
+  obs::DispatchKind kind = obs::DispatchKind::kInterp;
   {
     EpochDomain::Guard guard(dispatcher.epoch());
     DispatchTable* table = table_.load(std::memory_order_acquire);
     SPIN_DCHECK(table != nullptr);
+    kind = table->obs_kind;
     if (table->lazy_pending) {
       promote = lazy_raises_.fetch_add(1, std::memory_order_relaxed) + 1 >=
                 dispatcher.config().lazy_promote_raises;
@@ -198,9 +242,13 @@ void EventBase::RaiseErased(RaiseFrame& frame) {
     // "more incremental (and economical) approach to installation").
     dispatcher.PromoteLazyEvent(*this);
   }
-  if (profiling) {
-    raises_.fetch_add(1, std::memory_order_relaxed);
-    raise_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+  if (timed) {
+    uint64_t end = NowNs();
+    metrics_->Record(kind, end - start);
+    if (tracing) {
+      obs::FlightRecorder::Global().EmitAt(obs::TraceKind::kRaiseEnd,
+                                           obs_name_, end);
+    }
   }
 }
 
@@ -212,6 +260,10 @@ void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
     DispatchTable* table = table_.load(std::memory_order_acquire);
     pool = table->pool;
     mode = table->async_mode;
+  }
+  if (obs::Enabled()) {
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kAsyncEnqueue,
+                                       obs_name_);
   }
   RaiseFrame copy = frame;
   pool->Submit(

@@ -18,6 +18,7 @@
 #include "src/codegen/frame.h"
 #include "src/codegen/stub_compiler.h"
 #include "src/core/binding.h"
+#include "src/obs/obs.h"
 #include "src/rt/thread_pool.h"
 #include "src/types/module.h"
 #include "src/types/signature.h"
@@ -60,6 +61,11 @@ struct DispatchTable {
   // Lazy-compile mode: this table is interpreted, but the event should be
   // promoted to a compiled table once it proves hot.
   bool lazy_pending = false;
+
+  // The dispatch kind raises through this table are accounted under. When
+  // profiling or tracing suppresses the intrinsic-bypass, this still says
+  // kDirect: metrics classify by the event's production dispatch mode.
+  obs::DispatchKind obs_kind = obs::DispatchKind::kInterp;
 
   uint32_t version = 0;
 
@@ -138,18 +144,21 @@ class EventBase {
   bool has_default_handler() const;
 
   // Installed-handler statistics for diagnostics and the Table 3 profile.
+  // Counts and elapsed time are sourced from the observability histograms
+  // (src/obs), which accumulate whenever the owner is profiling or the
+  // flight recorder is enabled. All accumulation is per-stripe relaxed
+  // atomics, so concurrent raises never tear and reset is race-safe.
   size_t handler_count() const;
   size_t guard_count() const;
-  uint64_t raise_count() const {
-    return raises_.load(std::memory_order_relaxed);
-  }
-  uint64_t raise_ns() const {
-    return raise_ns_.load(std::memory_order_relaxed);
-  }
-  void ResetStats() {
-    raises_.store(0, std::memory_order_relaxed);
-    raise_ns_.store(0, std::memory_order_relaxed);
-  }
+  uint64_t raise_count() const { return metrics_->TotalCount(); }
+  uint64_t raise_ns() const { return metrics_->TotalSumNs(); }
+  void ResetStats() { metrics_->Reset(); }
+
+  // Latency distributions per dispatch kind (raise-side instrumentation).
+  obs::EventMetrics& metrics() const { return *metrics_; }
+  // The event's name as an interned C-string, stable for the process
+  // lifetime (used by trace records).
+  const char* obs_name() const { return obs_name_; }
 
  private:
   friend class Dispatcher;
@@ -177,9 +186,9 @@ class EventBase {
   bool force_interp_ = false;  // per-event JIT opt-out (ablations)
   uint32_t version_ = 0;
 
-  // Raise-side statistics (updated when the owner enables profiling).
-  std::atomic<uint64_t> raises_{0};
-  std::atomic<uint64_t> raise_ns_{0};
+  // Raise-side statistics (updated when the owner profiles or traces).
+  std::shared_ptr<obs::EventMetrics> metrics_;
+  const char* obs_name_ = nullptr;
 
   // Lazy-compile promotion state.
   std::atomic<uint32_t> lazy_raises_{0};

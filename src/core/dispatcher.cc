@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <optional>
+#include <ostream>
 
 #include "src/micro/pattern.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/rt/panic.h"
 
 namespace spin {
@@ -177,24 +180,37 @@ EventBase::EventBase(std::string name, ProcSig sig, const Module* authority,
     : name_(std::move(name)),
       sig_(std::move(sig)),
       authority_(authority),
-      owner_(owner) {
+      owner_(owner),
+      metrics_(obs::Registry::Global().Register(name_)),
+      obs_name_(obs::Intern(name_)) {
   SPIN_ASSERT(owner_ != nullptr);
   SPIN_ASSERT_MSG(sig_.params.size() <= static_cast<size_t>(kMaxEventArgs),
                   "event %s has too many parameters", name_.c_str());
   owner_->RegisterEvent(this);
 }
 
-EventBase::~EventBase() { owner_->UnregisterEvent(this); }
+EventBase::~EventBase() {
+  owner_->UnregisterEvent(this);
+  obs::Registry::Global().Unregister(metrics_.get());
+}
 
 // --- Dispatcher ---------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_next_dispatcher_id{1};
+}  // namespace
 
 Dispatcher::Dispatcher(const Config& config)
     : config_(config),
       epoch_(config.epoch != nullptr ? config.epoch : &EpochDomain::Global()),
       pool_(config.pool != nullptr ? config.pool : &ThreadPool::Global()),
-      quota_(config.quota_bytes_per_module) {}
+      quota_(config.quota_bytes_per_module),
+      instance_id_(g_next_dispatcher_id.fetch_add(1)) {
+  obs::RegisterSource(this, &Dispatcher::ExportMetricsSource);
+}
 
 Dispatcher::~Dispatcher() {
+  obs::UnregisterSource(this);
   // Events must be destroyed before their dispatcher; whatever tables remain
   // belong to events that leaked. Reclaim retired state.
   epoch_->Flush();
@@ -218,6 +234,8 @@ void Dispatcher::PromoteLazyEvent(EventBase& event) {
   }
   event.hot_ = true;
   ++stats_.lazy_promotions;
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kLazyPromote,
+                                     event.obs_name_);
   RebuildLocked(event);
 }
 
@@ -315,6 +333,8 @@ BindingHandle Dispatcher::Install(EventBase& event,
     event.intrinsic_binding = binding;
   }
   ++stats_.installs;
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kInstall,
+                                     event.obs_name_);
   RebuildLocked(event);
   return binding;
 }
@@ -347,6 +367,8 @@ BindingHandle Dispatcher::InstallDefault(EventBase& event,
   }
   event.default_binding = binding;
   ++stats_.installs;
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kInstall,
+                                     event.obs_name_);
   RebuildLocked(event);
   return binding;
 }
@@ -468,7 +490,30 @@ std::string Dispatcher::Describe(EventBase& event) const {
   }
   std::snprintf(line, sizeof(line), "  table version: %u\n", table->version);
   out += line;
+  for (size_t k = 0; k < obs::kNumDispatchKinds; ++k) {
+    auto dk = static_cast<obs::DispatchKind>(k);
+    obs::HistogramSnapshot snap = event.metrics().hist(dk).Snapshot();
+    if (snap.count == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  latency[%s]: n=%llu p50=%lluns p90=%lluns p99=%lluns "
+                  "max=%lluns\n",
+                  obs::DispatchKindName(dk),
+                  static_cast<unsigned long long>(snap.count),
+                  static_cast<unsigned long long>(snap.Percentile(0.50)),
+                  static_cast<unsigned long long>(snap.Percentile(0.90)),
+                  static_cast<unsigned long long>(snap.Percentile(0.99)),
+                  static_cast<unsigned long long>(snap.max));
+    out += line;
+  }
   return out;
+}
+
+void Dispatcher::DescribeAll(std::ostream& os) const {
+  for (EventBase* event : Events()) {
+    os << Describe(*event);
+  }
 }
 
 void Dispatcher::ReplaceBindingGuardsLocked(const BindingHandle& binding,
@@ -522,6 +567,8 @@ void Dispatcher::Uninstall(const BindingHandle& binding,
   }
   quota_.Release(binding->owner, binding->MemoryBytes());
   ++stats_.uninstalls;
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kUninstall,
+                                     event.obs_name_);
   RebuildLocked(event);
 }
 
@@ -623,6 +670,17 @@ void Dispatcher::EnableProfiling(bool enabled) {
   }
 }
 
+void Dispatcher::EnableTracing(bool enabled) {
+  // The obs switch is process-global (the flight recorder is shared);
+  // tracing_ scopes the table rebuilds to this dispatcher's events.
+  obs::SetEnabled(enabled);
+  tracing_.store(enabled, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (EventBase* event : events_) {
+    RebuildLocked(*event);  // tracing disables the bypass and stubs
+  }
+}
+
 std::vector<EventBase*> Dispatcher::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;
@@ -655,20 +713,26 @@ void Dispatcher::RebuildLocked(EventBase& event) {
   }
 
   // --- D1: intrinsic-bypass direct call --------------------------------
-  void* direct = nullptr;
-  if (config_.allow_direct && !profiling() && !event.async_event() &&
+  // The candidate is computed regardless of profiling/tracing so the table
+  // can classify itself by production dispatch mode (obs_kind) even when
+  // the bypass itself is suppressed for measurement fidelity.
+  void* direct_candidate = nullptr;
+  if (config_.allow_direct && !event.async_event() &&
       table->async_bindings.empty() && table->sync_bindings.size() == 1 &&
       table->custom_fold == nullptr) {
     const Binding& only = *table->sync_bindings[0];
     if (only.fn != nullptr && !only.closure_form && only.guards().empty() &&
         only.byref_params.empty() && !only.ephemeral) {
-      direct = only.fn;
+      direct_candidate = only.fn;
     }
   }
+  void* direct = profiling() || tracing() ? nullptr : direct_candidate;
 
   // --- D3: runtime code generation --------------------------------------
+  // Tracing also disables stubs: generated code dispatches handlers without
+  // per-handler hooks, so a full-fidelity capture interprets instead.
   size_t num_args = event.sig().params.size();
-  bool jitable = direct == nullptr && config_.enable_jit &&
+  bool jitable = direct == nullptr && !tracing() && config_.enable_jit &&
                  !event.force_interp_ && codegen::CodegenAvailable() &&
                  SigJitable(event.sig()) && table->custom_fold == nullptr &&
                  !table->sync_bindings.empty();
@@ -750,7 +814,19 @@ void Dispatcher::RebuildLocked(EventBase& event) {
       if (spec.tree.has_value()) {
         ++stats_.tree_tables;
       }
+      table->obs_kind = spec.tree.has_value() ? obs::DispatchKind::kTree
+                                              : obs::DispatchKind::kStub;
+      obs::FlightRecorder::Global().Emit(obs::TraceKind::kStubCompile,
+                                         event.obs_name_,
+                                         table->stub->code_size());
     }
+  }
+  if (direct_candidate != nullptr) {
+    // Even when profiling/tracing routes raises through a stub or the
+    // interpreter, account them under the production dispatch kind.
+    table->obs_kind = obs::DispatchKind::kDirect;
+  } else if (table->stub == nullptr) {
+    table->obs_kind = obs::DispatchKind::kInterp;
   }
   if (direct != nullptr) {
     ++stats_.direct_tables;
@@ -758,6 +834,8 @@ void Dispatcher::RebuildLocked(EventBase& event) {
     ++stats_.interp_tables;
   }
   ++stats_.rebuilds;
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kRebuild,
+                                     event.obs_name_, table->version);
 
   // Publish with a single store; retire the old table through EBR.
   DispatchTable* old = event.table_.exchange(table.release(),
@@ -765,6 +843,38 @@ void Dispatcher::RebuildLocked(EventBase& event) {
   event.direct_fn_.store(direct, std::memory_order_release);
   if (old != nullptr) {
     epoch_->Retire(old, &DeleteTable);
+  }
+}
+
+void Dispatcher::ExportMetricsSource(void* ctx, std::ostream& os) {
+  auto* self = static_cast<Dispatcher*>(ctx);
+  Stats stats = self->stats();
+  auto line = [&os, self](const char* name, uint64_t value) {
+    os << name << "{instance=\"" << self->instance_id_ << "\"} " << value
+       << "\n";
+  };
+  line("spin_dispatcher_installs_total", stats.installs);
+  line("spin_dispatcher_uninstalls_total", stats.uninstalls);
+  line("spin_dispatcher_rebuilds_total", stats.rebuilds);
+  line("spin_dispatcher_stub_compiles_total", stats.stub_compiles);
+  line("spin_dispatcher_interp_tables_total", stats.interp_tables);
+  line("spin_dispatcher_direct_tables_total", stats.direct_tables);
+  line("spin_dispatcher_tree_tables_total", stats.tree_tables);
+  line("spin_dispatcher_lazy_promotions_total", stats.lazy_promotions);
+  // The pool and epoch domain may be process-global and shared between
+  // dispatchers; the instance label keeps the series distinct regardless.
+  line("spin_pool_queue_depth", self->pool_->queue_depth());
+  line("spin_pool_pending", self->pool_->pending());
+  line("spin_pool_executed_total", self->pool_->executed());
+  line("spin_epoch_current", self->epoch_->epoch());
+  line("spin_epoch_retired", self->epoch_->retired_count());
+  line("spin_epoch_reclaimed_total", self->epoch_->reclaimed_total());
+  line("spin_quota_limit_bytes", self->quota_.limit());
+  for (const auto& [module, used] : self->quota_.Snapshot()) {
+    os << "spin_quota_used_bytes{instance=\"" << self->instance_id_
+       << "\",module=\"";
+    obs::WriteLabelValue(os, module);
+    os << "\"} " << used << "\n";
   }
 }
 

@@ -21,6 +21,7 @@
 #define SRC_CORE_DISPATCHER_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -211,6 +212,16 @@ class Dispatcher {
   bool profiling() const {
     return profiling_.load(std::memory_order_acquire);
   }
+
+  // Flight-recorder capture for this dispatcher's events: turns on the
+  // global obs switch and rebuilds every dispatch table at full fidelity —
+  // no intrinsic bypass and no generated stubs — so per-handler records
+  // (guard rejections, handler fires, filter mutations) are emitted.
+  // Disable to restore production dispatch. See src/obs/trace.h for
+  // exporting the capture.
+  void EnableTracing(bool enabled);
+  bool tracing() const { return tracing_.load(std::memory_order_acquire); }
+
   std::vector<EventBase*> Events() const;
 
   // Finds a registered event by name (first match); nullptr if absent.
@@ -219,8 +230,13 @@ class Dispatcher {
   // Human-readable description of an event's current dispatch state:
   // signature, dispatch kind (direct / generated stub / decision tree /
   // interpreted / lazy-pending), handler and guard counts, generated-code
-  // size. Diagnostic counterpart of SPIN's dispatcher introspection.
+  // size, and — when the observability layer has samples — the per-kind
+  // raise-latency summary (count, p50/p90/p99/max). Diagnostic counterpart
+  // of SPIN's dispatcher introspection.
   std::string Describe(EventBase& event) const;
+
+  // Dumps Describe() for every registered event.
+  void DescribeAll(std::ostream& os) const;
 
   struct Stats {
     uint64_t installs = 0;
@@ -266,11 +282,15 @@ class Dispatcher {
                                     const Module* requestor,
                                     void* credentials);
 
+  static void ExportMetricsSource(void* ctx, std::ostream& os);
+
   Config config_;
   EpochDomain* epoch_;
   ThreadPool* pool_;
   QuotaManager quota_;
   std::atomic<bool> profiling_{false};
+  std::atomic<bool> tracing_{false};
+  const uint64_t instance_id_;  // label for exported metrics
 
   mutable std::mutex mu_;  // guards install-side state of all owned events
   std::vector<EventBase*> events_;

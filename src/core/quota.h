@@ -12,7 +12,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/rt/spinlock.h"
 #include "src/types/module.h"
@@ -29,11 +32,15 @@ class QuotaManager {
   // its budget.
   bool Charge(const Module* module, size_t bytes) {
     std::lock_guard<Spinlock> lock(mu_);
-    size_t& used = usage_[Key(module)];
+    uint64_t key = Key(module);
+    size_t& used = usage_[key];
     if (used + bytes > limit_) {
       return false;
     }
     used += bytes;
+    if (names_.find(key) == names_.end()) {
+      names_[key] = module == nullptr ? "anonymous" : module->name();
+    }
     return true;
   }
 
@@ -49,6 +56,19 @@ class QuotaManager {
     return it == usage_.end() ? 0 : it->second;
   }
 
+  // Per-module usage, labeled with the module name recorded at first
+  // charge ("anonymous" for the nullptr account). For metric export.
+  std::vector<std::pair<std::string, size_t>> Snapshot() const {
+    std::lock_guard<Spinlock> lock(mu_);
+    std::vector<std::pair<std::string, size_t>> out;
+    out.reserve(usage_.size());
+    for (const auto& [key, used] : usage_) {
+      auto it = names_.find(key);
+      out.emplace_back(it == names_.end() ? "anonymous" : it->second, used);
+    }
+    return out;
+  }
+
   size_t limit() const { return limit_; }
   void SetLimit(size_t limit) {
     std::lock_guard<Spinlock> lock(mu_);
@@ -62,6 +82,7 @@ class QuotaManager {
 
   mutable Spinlock mu_;
   std::unordered_map<uint64_t, size_t> usage_;
+  std::unordered_map<uint64_t, std::string> names_;
   size_t limit_;
 };
 

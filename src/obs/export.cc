@@ -1,0 +1,152 @@
+#include "src/obs/export.h"
+
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace spin {
+namespace obs {
+namespace {
+
+struct Source {
+  void* ctx;
+  MetricSourceFn fn;
+};
+
+struct SourceList {
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+  std::vector<Source> sources;
+
+  void Lock() {
+    while (lock.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() { lock.clear(std::memory_order_release); }
+};
+
+SourceList& Sources() {
+  static SourceList* list = new SourceList();  // intentionally leaked
+  return *list;
+}
+
+void WriteSummarySeries(std::ostream& os, const std::string& event,
+                        const char* kind, const HistogramSnapshot& snap) {
+  auto labels = [&](std::ostream& o) {
+    o << "{event=\"";
+    WriteLabelValue(o, event);
+    o << "\",kind=\"" << kind << "\"";
+  };
+  const struct {
+    const char* q;
+    double v;
+  } quantiles[] = {{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+  for (const auto& q : quantiles) {
+    os << "spin_event_raise_ns";
+    labels(os);
+    os << ",quantile=\"" << q.q << "\"} " << snap.Percentile(q.v) << "\n";
+  }
+  os << "spin_event_raise_ns_count";
+  labels(os);
+  os << "} " << snap.count << "\n";
+  os << "spin_event_raise_ns_sum";
+  labels(os);
+  os << "} " << snap.sum << "\n";
+  os << "spin_event_raise_ns_max";
+  labels(os);
+  os << "} " << snap.max << "\n";
+}
+
+}  // namespace
+
+void WriteLabelValue(std::ostream& os, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        os << "\\\\";
+        break;
+      case '"':
+        os << "\\\"";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+void RegisterSource(void* ctx, MetricSourceFn fn) {
+  SourceList& list = Sources();
+  list.Lock();
+  list.sources.push_back(Source{ctx, fn});
+  list.Unlock();
+}
+
+void UnregisterSource(void* ctx) {
+  SourceList& list = Sources();
+  list.Lock();
+  for (auto it = list.sources.begin(); it != list.sources.end();) {
+    it = it->ctx == ctx ? list.sources.erase(it) : it + 1;
+  }
+  list.Unlock();
+}
+
+void ExportMetrics(std::ostream& os) {
+  os << "# HELP spin_event_raise_ns Event dispatch latency in nanoseconds, "
+        "split by dispatch kind.\n";
+  os << "# TYPE spin_event_raise_ns summary\n";
+  // Aggregate live per-instance metrics by event name so re-registered
+  // events (and same-named events on different dispatchers) form one
+  // series per label set, as Prometheus requires.
+  struct Agg {
+    std::string name;
+    HistogramSnapshot kinds[kNumDispatchKinds];
+  };
+  std::vector<Agg> aggs;
+  for (const auto& metrics : Registry::Global().List()) {
+    Agg* agg = nullptr;
+    for (Agg& a : aggs) {
+      if (a.name == metrics->name()) {
+        agg = &a;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      aggs.push_back(Agg{metrics->name(), {}});
+      agg = &aggs.back();
+    }
+    for (size_t k = 0; k < kNumDispatchKinds; ++k) {
+      agg->kinds[k].Merge(
+          metrics->hist(static_cast<DispatchKind>(k)).Snapshot());
+    }
+  }
+  for (const Agg& agg : aggs) {
+    HistogramSnapshot all;
+    for (size_t k = 0; k < kNumDispatchKinds; ++k) {
+      const HistogramSnapshot& snap = agg.kinds[k];
+      if (snap.count == 0) {
+        continue;
+      }
+      all.Merge(snap);
+      WriteSummarySeries(os, agg.name,
+                         DispatchKindName(static_cast<DispatchKind>(k)),
+                         snap);
+    }
+    if (all.count != 0) {
+      WriteSummarySeries(os, agg.name, "all", all);
+    }
+  }
+
+  // External sources (dispatchers, and whatever embedders add).
+  SourceList& list = Sources();
+  list.Lock();
+  std::vector<Source> sources = list.sources;
+  list.Unlock();
+  for (const Source& source : sources) {
+    source.fn(source.ctx, os);
+  }
+}
+
+}  // namespace obs
+}  // namespace spin

@@ -1,0 +1,41 @@
+// Prometheus-style text exposition of the system's metrics.
+//
+// ExportMetrics(os) writes, in the Prometheus text format:
+//   - per-event raise-latency summaries (p50/p90/p99/max + count/sum),
+//     one series per (event, dispatch kind) plus a merged kind="all"
+//     series, sourced from the obs::Registry histograms;
+//   - every registered external source. A source is a plain callback;
+//     the Dispatcher registers one per instance covering its Stats,
+//     ThreadPool queue depth / executed counts, EpochDomain reclamation
+//     lag, and QuotaManager per-module usage. The indirection keeps
+//     spin_obs free of dependencies on the layers it observes.
+//
+// An HTTP scrape endpoint is one `ExportMetrics(response_body)` away; the
+// library deliberately stops at the stream so embedders choose the server.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+namespace spin {
+namespace obs {
+
+using MetricSourceFn = void (*)(void* ctx, std::ostream& os);
+
+// Registers/unregisters a metric source keyed by `ctx`. Sources are invoked
+// by ExportMetrics in registration order. Thread-safe.
+void RegisterSource(void* ctx, MetricSourceFn fn);
+void UnregisterSource(void* ctx);
+
+// Writes the full exposition to `os`.
+void ExportMetrics(std::ostream& os);
+
+// Escapes a Prometheus label value (backslash, quote, newline) into `os`.
+// Exposed for sources that build label pairs.
+void WriteLabelValue(std::ostream& os, const std::string& value);
+
+}  // namespace obs
+}  // namespace spin
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -1,0 +1,205 @@
+#include "src/obs/obs.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace spin {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+uint32_t ThreadIndexSlow() {
+  static std::atomic<uint32_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+const char* Intern(std::string_view s) {
+  static std::atomic_flag lock = ATOMIC_FLAG_INIT;
+  // Node-based: iterators/pointers into the set stay valid across inserts.
+  static auto* table = new std::unordered_set<std::string>();
+  while (lock.test_and_set(std::memory_order_acquire)) {
+  }
+  const std::string& interned = *table->emplace(s).first;
+  lock.clear(std::memory_order_release);
+  return interned.c_str();
+}
+
+const char* DispatchKindName(DispatchKind kind) {
+  switch (kind) {
+    case DispatchKind::kDirect:
+      return "direct";
+    case DispatchKind::kStub:
+      return "stub";
+    case DispatchKind::kTree:
+      return "tree";
+    case DispatchKind::kInterp:
+      return "interpreted";
+    case DispatchKind::kAsync:
+      return "async";
+  }
+  return "unknown";
+}
+
+// --- HistogramSnapshot ---------------------------------------------------
+
+uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 1) {
+    q = 1;
+  }
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) {
+    ++rank;  // ceil
+  }
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      return BucketUpperBound(b);
+    }
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
+// --- Histogram -----------------------------------------------------------
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Stripe& s : stripes_) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      uint64_t n = s.counts[b].load(std::memory_order_relaxed);
+      snap.buckets[b] += n;
+      snap.count += n;
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t n = 0;
+  for (const Stripe& s : stripes_) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      n += s.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return n;
+}
+
+uint64_t Histogram::SumNs() const {
+  uint64_t sum = 0;
+  for (const Stripe& s : stripes_) {
+    sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Histogram::Reset() {
+  for (Stripe& s : stripes_) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      s.counts[b].store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- EventMetrics --------------------------------------------------------
+
+uint64_t EventMetrics::TotalCount() const {
+  uint64_t n = 0;
+  for (const Histogram& h : hist_) {
+    n += h.Count();
+  }
+  return n;
+}
+
+uint64_t EventMetrics::TotalSumNs() const {
+  uint64_t sum = 0;
+  for (const Histogram& h : hist_) {
+    sum += h.SumNs();
+  }
+  return sum;
+}
+
+HistogramSnapshot EventMetrics::Merged() const {
+  HistogramSnapshot merged;
+  for (const Histogram& h : hist_) {
+    merged.Merge(h.Snapshot());
+  }
+  return merged;
+}
+
+void EventMetrics::Reset() {
+  for (Histogram& h : hist_) {
+    h.Reset();
+  }
+}
+
+// --- Registry ------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // intentionally leaked
+  return *registry;
+}
+
+void Registry::Lock() const {
+  while (lock_.test_and_set(std::memory_order_acquire)) {
+  }
+}
+
+void Registry::Unlock() const { lock_.clear(std::memory_order_release); }
+
+std::shared_ptr<EventMetrics> Registry::Register(const std::string& name) {
+  auto metrics = std::make_shared<EventMetrics>(name);
+  Lock();
+  entries_.push_back(metrics);
+  Unlock();
+  return metrics;
+}
+
+void Registry::Unregister(const EventMetrics* metrics) {
+  Lock();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [metrics](const auto& e) {
+                                  return e.get() == metrics;
+                                }),
+                 entries_.end());
+  Unlock();
+}
+
+std::vector<std::shared_ptr<EventMetrics>> Registry::List() const {
+  Lock();
+  std::vector<std::shared_ptr<EventMetrics>> copy = entries_;
+  Unlock();
+  return copy;
+}
+
+}  // namespace obs
+}  // namespace spin

@@ -1,0 +1,205 @@
+// Observability substrate (spin_obs): latency histograms and the global
+// enable switch shared with the flight recorder (trace.h) and the metric
+// exporter (export.h).
+//
+// The paper instrumented the kernel "to generate call graph information
+// with counts and elapsed times" (§3.2). A production-scale descendant
+// needs distributions, not means: dispatch latency is bimodal (generated
+// stub vs. interpreter vs. pool hop), and regressions hide in the tail.
+// This module keeps one log-bucketed histogram per (event, dispatch kind),
+// striped across cache lines so concurrent raises on different threads do
+// not contend.
+//
+// Cost discipline: every hook in the dispatcher is gated on Enabled(), a
+// single relaxed atomic load and a predictable branch. The intrinsic-bypass
+// fast path (Event::Raise direct call) carries no hook at all; enabling
+// tracing rebuilds dispatch tables without the bypass, the same discipline
+// Dispatcher::EnableProfiling already uses.
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spin {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+// Small dense per-thread index used to pick a histogram stripe.
+uint32_t ThreadIndexSlow();
+inline uint32_t ThreadIndex() {
+  thread_local uint32_t idx = ThreadIndexSlow();
+  return idx;
+}
+}  // namespace internal
+
+// Master switch for trace-record emission and (together with dispatcher
+// profiling) histogram recording. Relaxed: observers tolerate a stale view
+// for a few raises around the toggle.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+// RAII enable/restore, for tests and short capture windows.
+class EnableScope {
+ public:
+  EnableScope() : prev_(Enabled()) { SetEnabled(true); }
+  ~EnableScope() { SetEnabled(prev_); }
+  EnableScope(const EnableScope&) = delete;
+  EnableScope& operator=(const EnableScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// Interns a string into a never-freed global table and returns a stable
+// C-string pointer. Trace records store these pointers so emission never
+// copies and records outlive the objects that emitted them.
+const char* Intern(std::string_view s);
+
+// How a raise was (or would be, see DispatchTable::obs_kind) dispatched.
+enum class DispatchKind : uint8_t {
+  kDirect = 0,  // intrinsic-bypass direct call
+  kStub,        // generated dispatch routine
+  kTree,        // generated routine with a guard decision tree
+  kInterp,      // interpreted dispatch
+  kAsync,       // handler body executed on the thread pool
+};
+constexpr size_t kNumDispatchKinds = 5;
+const char* DispatchKindName(DispatchKind kind);
+
+// --- Log-bucketed latency histogram ------------------------------------
+//
+// Bucket b > 0 holds values v with bit_width(v) == b, i.e. the interval
+// [2^(b-1), 2^b - 1]; bucket 0 holds exactly {0}. Percentile(q) returns
+// the inclusive upper bound of the bucket containing the ceil(q * count)-th
+// smallest sample — a deterministic, testable definition whose error is
+// bounded by one octave.
+
+constexpr size_t kNumBuckets = 65;  // bit_width of a uint64_t is 0..64
+
+inline size_t BucketFor(uint64_t v) {
+  return static_cast<size_t>(std::bit_width(v));
+}
+inline uint64_t BucketLowerBound(size_t bucket) {
+  return bucket == 0 ? 0 : 1ull << (bucket - 1);
+}
+inline uint64_t BucketUpperBound(size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  return bucket >= 64 ? ~0ull : (1ull << bucket) - 1;
+}
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t buckets[kNumBuckets] = {};
+
+  // Upper bound of the bucket holding the ceil(q*count)-th smallest sample;
+  // 0 when empty. q in (0, 1].
+  uint64_t Percentile(double q) const;
+  void Merge(const HistogramSnapshot& other);
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    Stripe& s = stripes_[internal::ThreadIndex() & (kStripes - 1)];
+    s.counts[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = s.max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !s.max.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t Count() const;
+  uint64_t SumNs() const;
+
+  // Zeroes all stripes. Safe against concurrent Record: every counter is an
+  // independent atomic, so a racing raise is either counted or cleanly
+  // cleared — never torn.
+  void Reset();
+
+ private:
+  static constexpr size_t kStripes = 4;  // power of two
+
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> counts[kNumBuckets] = {};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  Stripe stripes_[kStripes];
+};
+
+// --- Per-event metrics ---------------------------------------------------
+
+// One histogram per dispatch kind for a single event instance. Created by
+// EventBase at construction and published through the global Registry so
+// ExportMetrics can walk every live event.
+class EventMetrics {
+ public:
+  explicit EventMetrics(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void Record(DispatchKind kind, uint64_t ns) {
+    hist_[static_cast<size_t>(kind)].Record(ns);
+  }
+
+  const Histogram& hist(DispatchKind kind) const {
+    return hist_[static_cast<size_t>(kind)];
+  }
+
+  uint64_t TotalCount() const;
+  uint64_t TotalSumNs() const;
+  // All dispatch kinds merged into one distribution.
+  HistogramSnapshot Merged() const;
+  void Reset();
+
+ private:
+  std::string name_;
+  Histogram hist_[kNumDispatchKinds];
+};
+
+class Registry {
+ public:
+  static Registry& Global();
+
+  std::shared_ptr<EventMetrics> Register(const std::string& name);
+  void Unregister(const EventMetrics* metrics);
+
+  // Snapshot of every live event's metrics object.
+  std::vector<std::shared_ptr<EventMetrics>> List() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::vector<std::shared_ptr<EventMetrics>> entries_;
+
+  void Lock() const;
+  void Unlock() const;
+};
+
+}  // namespace obs
+}  // namespace spin
+
+#endif  // SRC_OBS_OBS_H_

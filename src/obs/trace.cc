@@ -1,0 +1,202 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/rt/clock.h"
+
+namespace spin {
+namespace obs {
+namespace {
+
+thread_local void* t_ring = nullptr;  // FlightRecorder::Ring*, Global() only
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void JsonEscape(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRaiseBegin:
+      return "raise_begin";
+    case TraceKind::kRaiseEnd:
+      return "raise_end";
+    case TraceKind::kGuardReject:
+      return "guard_reject";
+    case TraceKind::kHandlerFire:
+      return "handler_fire";
+    case TraceKind::kFilterMutate:
+      return "filter_mutate";
+    case TraceKind::kAsyncEnqueue:
+      return "async_enqueue";
+    case TraceKind::kAsyncExecute:
+      return "async_execute";
+    case TraceKind::kInstall:
+      return "install";
+    case TraceKind::kUninstall:
+      return "uninstall";
+    case TraceKind::kRebuild:
+      return "rebuild";
+    case TraceKind::kStubCompile:
+      return "stub_compile";
+    case TraceKind::kLazyPromote:
+      return "lazy_promote";
+    case TraceKind::kEpochReclaim:
+      return "epoch_reclaim";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked
+  return *recorder;
+}
+
+FlightRecorder::Ring* FlightRecorder::ThreadRing() {
+  if (t_ring != nullptr) {
+    return static_cast<Ring*>(t_ring);
+  }
+  auto* ring = new Ring();
+  ring->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  size_t cap = capacity_.load(std::memory_order_relaxed);
+  ring->slots.resize(cap);
+  ring->mask = cap - 1;
+  Ring* head = rings_.load(std::memory_order_relaxed);
+  do {
+    ring->next = head;
+  } while (!rings_.compare_exchange_weak(head, ring,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  t_ring = ring;
+  return ring;
+}
+
+void FlightRecorder::Emit(TraceKind kind, const char* name, uint64_t arg) {
+  if (!Enabled()) {
+    return;
+  }
+  EmitAt(kind, name, NowNs(), arg);
+}
+
+void FlightRecorder::EmitAt(TraceKind kind, const char* name, uint64_t ts_ns,
+                            uint64_t arg) {
+  if (!Enabled()) {
+    return;
+  }
+  Ring* ring = ThreadRing();
+  uint64_t h = ring->head.load(std::memory_order_relaxed);
+  TraceRecord& slot = ring->slots[h & ring->mask];
+  slot.ts_ns = ts_ns;
+  slot.name = name;
+  slot.arg = arg;
+  slot.kind = kind;
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<MergedRecord> FlightRecorder::Snapshot() const {
+  std::vector<MergedRecord> merged;
+  for (Ring* ring = rings_.load(std::memory_order_acquire); ring != nullptr;
+       ring = ring->next) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t cap = ring->mask + 1;
+    uint64_t n = head < cap ? head : cap;
+    for (uint64_t i = head - n; i < head; ++i) {
+      merged.push_back(MergedRecord{ring->slots[i & ring->mask], ring->tid});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MergedRecord& a, const MergedRecord& b) {
+                     if (a.rec.ts_ns != b.rec.ts_ns) {
+                       return a.rec.ts_ns < b.rec.ts_ns;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return merged;
+}
+
+void FlightRecorder::Reset(size_t capacity) {
+  if (capacity != 0) {
+    capacity_.store(RoundUpPow2(capacity), std::memory_order_relaxed);
+  }
+  size_t cap = capacity_.load(std::memory_order_relaxed);
+  for (Ring* ring = rings_.load(std::memory_order_acquire); ring != nullptr;
+       ring = ring->next) {
+    ring->head.store(0, std::memory_order_relaxed);
+    if (ring->slots.size() != cap) {
+      ring->slots.assign(cap, TraceRecord{});
+      ring->mask = cap - 1;
+    }
+  }
+}
+
+void WriteChromeTrace(std::ostream& os,
+                      const std::vector<MergedRecord>& records) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const MergedRecord& m : records) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    const char* name = m.rec.name != nullptr ? m.rec.name : "?";
+    os << "{\"name\":\"";
+    JsonEscape(os, name);
+    os << "\",\"cat\":\"" << TraceKindName(m.rec.kind) << "\"";
+    switch (m.rec.kind) {
+      case TraceKind::kRaiseBegin:
+        os << ",\"ph\":\"B\"";
+        break;
+      case TraceKind::kRaiseEnd:
+        os << ",\"ph\":\"E\"";
+        break;
+      default:
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(m.rec.ts_ns) / 1e3);
+    os << ",\"ts\":" << buf << ",\"pid\":1,\"tid\":" << m.tid
+       << ",\"args\":{\"arg\":" << m.rec.arg << "}}";
+  }
+  os << "]}";
+}
+
+}  // namespace obs
+}  // namespace spin

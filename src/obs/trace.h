@@ -1,0 +1,114 @@
+// The dispatcher flight recorder.
+//
+// A per-thread, lock-free ring buffer of fixed-size typed records. Each
+// thread writes only its own ring (one relaxed index bump plus a few plain
+// stores per record); when the ring wraps, the oldest records are
+// overwritten, so the recorder always holds the newest window — the
+// black-box-recorder discipline. Snapshot() merges all rings into a single
+// monotonic-clock-ordered timeline, and WriteChromeTrace() serializes that
+// timeline as Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev)
+// or chrome://tracing.
+//
+// Record names are interned C-strings (obs::Intern), so emission never
+// allocates and records remain printable after the emitting event dies.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace spin {
+namespace obs {
+
+enum class TraceKind : uint8_t {
+  kRaiseBegin,    // dispatch entered (duration open)
+  kRaiseEnd,      // dispatch finished (duration close)
+  kGuardReject,   // a binding's guards evaluated false; arg = binding index
+  kHandlerFire,   // a handler ran; arg = binding index
+  kFilterMutate,  // a filter handler mutated by-ref args; arg = binding index
+  kAsyncEnqueue,  // async handler/raise scheduled on the pool
+  kAsyncExecute,  // async handler body started on a pool thread
+  kInstall,       // handler installed
+  kUninstall,     // handler uninstalled
+  kRebuild,       // dispatch table regenerated; arg = table version
+  kStubCompile,   // dispatch routine compiled; arg = code bytes
+  kLazyPromote,   // lazy event promoted to compiled dispatch
+  kEpochReclaim,  // epoch reclamation freed objects; arg = count
+};
+const char* TraceKindName(TraceKind kind);
+
+struct TraceRecord {
+  uint64_t ts_ns = 0;
+  const char* name = nullptr;  // interned; never dangles
+  uint64_t arg = 0;
+  TraceKind kind = TraceKind::kRaiseBegin;
+};
+
+struct MergedRecord {
+  TraceRecord rec;
+  uint32_t tid = 0;  // recorder-assigned dense thread id
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;  // records per thread
+
+  // Process-wide recorder all instrumentation writes to.
+  static FlightRecorder& Global();
+
+  // Appends a record stamped with the monotonic clock. No-op when
+  // obs::Enabled() is false.
+  void Emit(TraceKind kind, const char* name, uint64_t arg = 0);
+
+  // Appends a record with an explicit timestamp (used when the caller
+  // already read the clock, and by tests for deterministic ordering).
+  void EmitAt(TraceKind kind, const char* name, uint64_t ts_ns,
+              uint64_t arg = 0);
+
+  // Merges every thread's ring into one timeline ordered by timestamp
+  // (ties broken by thread id). Callers should quiesce emitters first for
+  // an exact snapshot; concurrent emission can smear the newest records.
+  std::vector<MergedRecord> Snapshot() const;
+
+  // Drops all records; a nonzero capacity also resizes every ring (rounded
+  // up to a power of two). Requires that no thread is concurrently
+  // emitting. Intended for tests and between capture windows.
+  void Reset(size_t capacity = 0);
+
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ring {
+    uint32_t tid = 0;
+    size_t mask = 0;
+    std::atomic<uint64_t> head{0};
+    std::vector<TraceRecord> slots;
+    Ring* next = nullptr;
+  };
+
+  FlightRecorder() = default;
+
+  Ring* ThreadRing();
+
+  std::atomic<Ring*> rings_{nullptr};
+  std::atomic<uint32_t> next_tid_{1};
+  std::atomic<size_t> capacity_{kDefaultCapacity};
+};
+
+// Serializes a merged timeline as Chrome trace-event JSON ("traceEvents"
+// array form). RaiseBegin/RaiseEnd become B/E duration events; everything
+// else becomes a thread-scoped instant event.
+void WriteChromeTrace(std::ostream& os,
+                      const std::vector<MergedRecord>& records);
+
+}  // namespace obs
+}  // namespace spin
+
+#endif  // SRC_OBS_TRACE_H_

@@ -21,10 +21,17 @@ void Profiler::Reset() {
 EventProfile Profiler::Sample(const EventBase& event) {
   EventProfile profile;
   profile.name = event.name();
-  profile.raised = event.raise_count();
-  profile.time_s = static_cast<double>(event.raise_ns()) / 1e9;
+  obs::HistogramSnapshot merged = event.metrics().Merged();
+  profile.raised = merged.count;
+  profile.time_s = static_cast<double>(merged.sum) / 1e9;
   profile.handlers = event.handler_count();
   profile.guards = event.guard_count();
+  if (merged.count > 0) {
+    profile.p50_ns = merged.Percentile(0.50);
+    profile.p90_ns = merged.Percentile(0.90);
+    profile.p99_ns = merged.Percentile(0.99);
+    profile.max_ns = merged.max;
+  }
   return profile;
 }
 
@@ -57,12 +64,13 @@ void Profiler::PrintTable(std::ostream& os,
                           const std::vector<EventProfile>& profiles) {
   os << std::left << std::setw(28) << "Event name" << std::right
      << std::setw(10) << "raised" << std::setw(10) << "time" << std::setw(10)
-     << "handlers" << std::setw(8) << "guards" << "\n";
+     << "handlers" << std::setw(8) << "guards" << std::setw(10) << "p50(ns)"
+     << std::setw(10) << "p99(ns)" << "\n";
   for (const EventProfile& p : profiles) {
     os << std::left << std::setw(28) << p.name << std::right << std::setw(10)
        << p.raised << std::setw(10) << std::fixed << std::setprecision(2)
        << p.time_s << std::setw(10) << p.handlers << std::setw(8) << p.guards
-       << "\n";
+       << std::setw(10) << p.p50_ns << std::setw(10) << p.p99_ns << "\n";
   }
 }
 

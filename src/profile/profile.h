@@ -24,6 +24,12 @@ struct EventProfile {
   double time_s = 0;
   size_t handlers = 0;
   size_t guards = 0;
+  // Raise-latency distribution (all dispatch kinds merged), from the
+  // observability histograms. Percentiles are log-bucket upper bounds.
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
 };
 
 // RAII: enables dispatcher profiling for its lifetime.

@@ -1,5 +1,6 @@
 #include "src/rt/epoch.h"
 
+#include "src/obs/trace.h"
 #include "src/rt/panic.h"
 
 namespace spin {
@@ -136,6 +137,11 @@ size_t EpochDomain::ReclaimLocked() {
   }
   list.clear();
   retired_total_.fetch_sub(n, std::memory_order_relaxed);
+  if (n > 0) {
+    reclaimed_total_.fetch_add(n, std::memory_order_relaxed);
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kEpochReclaim,
+                                       "epoch", n);
+  }
   return n;
 }
 

@@ -63,6 +63,11 @@ class EpochDomain {
   // Diagnostics.
   size_t retired_count() const;
   uint64_t epoch() const { return global_epoch_.load(std::memory_order_relaxed); }
+  // Objects freed over the domain's lifetime. With retired_count(), exposes
+  // reclamation lag to the metric exporter.
+  uint64_t reclaimed_total() const {
+    return reclaimed_total_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ThreadRecord {
@@ -92,6 +97,7 @@ class EpochDomain {
   mutable Spinlock retire_lock_;
   std::vector<Retired> retired_[3];
   std::atomic<size_t> retired_total_{0};
+  std::atomic<uint64_t> reclaimed_total_{0};
 };
 
 }  // namespace spin

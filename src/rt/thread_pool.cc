@@ -42,6 +42,7 @@ void ThreadPool::Submit(std::function<void()> task, AsyncMode mode) {
     }
     std::thread([this, task = std::move(task)] {
       task();
+      executed_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) {
         idle_.notify_all();
@@ -71,6 +72,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) {
@@ -88,6 +90,11 @@ void ThreadPool::Drain() {
 size_t ThreadPool::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return in_flight_;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 }  // namespace spin

@@ -11,8 +11,10 @@
 #ifndef SRC_RT_THREAD_POOL_H_
 #define SRC_RT_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -44,6 +46,15 @@ class ThreadPool {
 
   size_t pending() const;
 
+  // Tasks sitting in the pooled queue, not yet picked up by a worker.
+  size_t queue_depth() const;
+
+  // Tasks that have finished executing (pooled and spawned) over the pool's
+  // lifetime. Monotonic; for metric export.
+  uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -53,6 +64,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   size_t in_flight_ = 0;  // queued + executing + spawned-not-finished
+  std::atomic<uint64_t> executed_{0};
   bool shutdown_ = false;
 };
 
