@@ -27,7 +27,11 @@ bool ExpensiveNativeGuard(int64_t) {
   return h != 0 || g_state < 2;  // always true, opaque to the compiler
 }
 
-double MeasureTenHandlers(const spin::Dispatcher::Config& config) {
+// Shared setup for the Table 1 midpoint workload (10 guarded handlers),
+// measured either as a median (table) or a distribution (JSON row).
+template <typename Measure>
+auto WithTenHandlers(const spin::Dispatcher::Config& config,
+                     Measure measure) {
   spin::Module module("Ablation");
   spin::Dispatcher dispatcher(config);
   spin::Event<void(int64_t)> event("Ablate.Event", &module, nullptr,
@@ -38,7 +42,21 @@ double MeasureTenHandlers(const spin::Dispatcher::Config& config) {
     dispatcher.AddMicroGuard(binding,
                              spin::micro::GuardGlobalEq(&g_state, 1));
   }
-  return spin::bench::NsPerOp([&] { event.Raise(7); }, 100000);
+  return measure(event);
+}
+
+double MeasureTenHandlers(const spin::Dispatcher::Config& config) {
+  return WithTenHandlers(config, [](auto& event) {
+    return spin::bench::NsPerOp([&] { event.Raise(7); }, 100000);
+  });
+}
+
+spin::bench::LatencyStats StatsTenHandlers(
+    const spin::Dispatcher::Config& config) {
+  return WithTenHandlers(config, [](auto& event) {
+    return spin::bench::NsPerOpStats([&] { event.Raise(7); },
+                                     /*samples=*/10000);
+  });
 }
 
 double MeasureIntrinsic(bool allow_direct) {
@@ -145,5 +163,12 @@ int main() {
   Rule();
   std::printf("expected shape: each mechanism removes measurable cost; "
               "interpreter is the slowest arm\n");
+
+  std::printf("\nlatency distributions (JSON, 1 row per case):\n");
+  spin::bench::JsonRow("ablation", "ten_handlers_full", StatsTenHandlers(full));
+  spin::bench::JsonRow("ablation", "ten_handlers_no_inline",
+                       StatsTenHandlers(no_inline));
+  spin::bench::JsonRow("ablation", "ten_handlers_interp",
+                       StatsTenHandlers(interp));
   return 0;
 }

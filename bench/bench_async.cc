@@ -10,9 +10,11 @@
 // discipline — the 38-90us is thread creation, which we reproduce in
 // kind: spawn mode pays thread-creation latency, pool mode mostly queue
 // handoff).
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/dispatcher.h"
@@ -25,7 +27,9 @@ void StampHandler(int64_t) {
   g_handler_start_ns.store(spin::NowNs(), std::memory_order_release);
 }
 
-double MeasureLatencyUs(spin::AsyncMode mode, bool async, int rounds) {
+// Raise-to-handler-start latency distribution, one sample per round.
+spin::bench::LatencyStats MeasureLatency(spin::AsyncMode mode, bool async,
+                                         int rounds) {
   spin::Module module("AsyncBench");
   spin::Dispatcher::Config config;
   config.async_mode = mode;
@@ -36,7 +40,8 @@ double MeasureLatencyUs(spin::AsyncMode mode, bool async, int rounds) {
                                    &dispatcher);
   dispatcher.InstallHandler(event, &StampHandler, {.module = &module});
 
-  double total_us = 0;
+  std::vector<uint64_t> lat(rounds);
+  uint64_t total = 0;
   for (int i = 0; i < rounds; ++i) {
     g_handler_start_ns.store(0, std::memory_order_release);
     uint64_t raise_ns = spin::NowNs();
@@ -50,13 +55,21 @@ double MeasureLatencyUs(spin::AsyncMode mode, bool async, int rounds) {
     } else {
       event.Raise(i);
     }
-    total_us += static_cast<double>(
-                    g_handler_start_ns.load(std::memory_order_acquire) -
-                    raise_ns) /
-                1e3;
+    lat[i] = g_handler_start_ns.load(std::memory_order_acquire) - raise_ns;
+    total += lat[i];
     dispatcher.pool().Drain();
   }
-  return total_us / rounds;
+  std::sort(lat.begin(), lat.end());
+  spin::bench::LatencyStats stats;
+  stats.mean_ns = static_cast<double>(total) / rounds;
+  auto pct = [&](double q) {
+    return lat[static_cast<size_t>(static_cast<double>(rounds - 1) * q)];
+  };
+  stats.p50_ns = pct(0.50);
+  stats.p90_ns = pct(0.90);
+  stats.p99_ns = pct(0.99);
+  stats.max_ns = lat.back();
+  return stats;
 }
 
 }  // namespace
@@ -67,9 +80,15 @@ int main() {
               "spent creating the thread)\n");
   Rule('=');
   const int kRounds = 300;
-  double sync_us = MeasureLatencyUs(spin::AsyncMode::kPooled, false, kRounds);
-  double pooled_us = MeasureLatencyUs(spin::AsyncMode::kPooled, true, kRounds);
-  double spawn_us = MeasureLatencyUs(spin::AsyncMode::kSpawn, true, kRounds);
+  spin::bench::LatencyStats sync_stats =
+      MeasureLatency(spin::AsyncMode::kPooled, false, kRounds);
+  spin::bench::LatencyStats pooled_stats =
+      MeasureLatency(spin::AsyncMode::kPooled, true, kRounds);
+  spin::bench::LatencyStats spawn_stats =
+      MeasureLatency(spin::AsyncMode::kSpawn, true, kRounds);
+  double sync_us = sync_stats.mean_ns / 1e3;
+  double pooled_us = pooled_stats.mean_ns / 1e3;
+  double spawn_us = spawn_stats.mean_ns / 1e3;
   // Context: what a bare thread create->start costs on this host.
   double raw_thread_us = 0;
   for (int i = 0; i < 50; ++i) {
@@ -93,5 +112,10 @@ int main() {
   Rule();
   std::printf("expected shape: thread-per-event pays thread-creation cost "
               "(the paper's 38-90us on Alpha); pooling removes most of it\n");
+
+  std::printf("\nlatency distributions (JSON, 1 row per case):\n");
+  spin::bench::JsonRow("async", "sync_raise", sync_stats);
+  spin::bench::JsonRow("async", "async_raise_pooled", pooled_stats);
+  spin::bench::JsonRow("async", "async_raise_spawn", spawn_stats);
   return 0;
 }

@@ -40,6 +40,29 @@ double InstallNCumulativeUs(int n, int repeats, bool lazy = false) {
   return samples[samples.size() / 2];
 }
 
+// Steady-state cost of one install+uninstall pair with `population`
+// handlers already resident (each operation regenerates the event's
+// dispatch structures, so the pair's cost grows with the population).
+spin::bench::LatencyStats InstallPairStats(int population) {
+  spin::Module module("InstallBench");
+  spin::Dispatcher dispatcher;
+  spin::Event<void(int64_t)> event("Bench.Install", &module, nullptr,
+                                   &dispatcher);
+  std::vector<spin::BindingHandle> resident;
+  for (int i = 0; i < population; ++i) {
+    resident.push_back(dispatcher.InstallMicroHandler(
+        event, spin::micro::ReturnConst(1, 0, false), {.module = &module}));
+  }
+  return spin::bench::NsPerOpStats(
+      [&] {
+        auto binding = dispatcher.InstallMicroHandler(
+            event, spin::micro::ReturnConst(1, 0, false),
+            {.module = &module});
+        dispatcher.Uninstall(binding, &module);
+      },
+      /*samples=*/2000, /*batch=*/1);
+}
+
 }  // namespace
 
 int main() {
@@ -82,5 +105,10 @@ int main() {
   }
   std::printf("expected shape: lazy installs stay near-linear; the "
               "compilation cost is paid once at promotion\n");
+
+  std::printf("\nlatency distributions (JSON, 1 row per case):\n");
+  spin::bench::JsonRow("install", "install_pair_pop0", InstallPairStats(0));
+  spin::bench::JsonRow("install", "install_pair_pop10", InstallPairStats(10));
+  spin::bench::JsonRow("install", "install_pair_pop50", InstallPairStats(50));
   return 0;
 }

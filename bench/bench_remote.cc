@@ -1,0 +1,286 @@
+// Remote event dispatch: sync roundtrips, async throughput, and the retry
+// path under injected loss.
+//
+// The paper's dispatcher is local; src/remote extends it across the
+// simulated 10 Mb/s wire (the Table 2 link model: 800 ns/byte + 25 us
+// propagation per hop). The numbers of interest:
+//   - a sync remote raise is wire-time dominated: the virtual-time
+//     roundtrip is ~150 us while the measured host processing (marshal +
+//     dispatch + unmarshal, real clock) is orders of magnitude smaller;
+//   - payload grows the roundtrip at the serialization rate, 9 request
+//     bytes (tag + value) per argument;
+//   - under injected loss the median stays at the clean roundtrip while
+//     the tail absorbs the 2 ms retry timeouts.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/errors.h"
+#include "src/net/host.h"
+#include "src/remote/exporter.h"
+#include "src/remote/proxy.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using spin::bench::LatencyStats;
+
+// Client + server attached to one wire; mirrors the remote_test fixture.
+struct Rig {
+  spin::Dispatcher dispatcher;
+  spin::sim::Simulator sim;
+  spin::net::Wire wire{&sim, spin::sim::LinkModel{}};
+  spin::net::Host client{"client", 0x0a000001, &dispatcher};
+  spin::net::Host server{"server", 0x0a000002, &dispatcher};
+  spin::remote::Exporter exporter{server};
+
+  Rig() { wire.Attach(client, server); }
+
+  spin::remote::ProxyOptions Opts(uint16_t local_port) {
+    spin::remote::ProxyOptions opts;
+    opts.remote_ip = server.ip();
+    opts.local_port = local_port;
+    return opts;
+  }
+};
+
+LatencyStats StatsFromSamples(std::vector<uint64_t> lat) {
+  LatencyStats stats;
+  if (lat.empty()) {
+    return stats;
+  }
+  uint64_t total = 0;
+  for (uint64_t v : lat) {
+    total += v;
+  }
+  std::sort(lat.begin(), lat.end());
+  stats.mean_ns =
+      static_cast<double>(total) / static_cast<double>(lat.size());
+  auto pct = [&](double q) {
+    return lat[static_cast<size_t>(static_cast<double>(lat.size() - 1) * q)];
+  };
+  stats.p50_ns = pct(0.50);
+  stats.p90_ns = pct(0.90);
+  stats.p99_ns = pct(0.99);
+  stats.max_ns = lat.back();
+  return stats;
+}
+
+uint64_t Sum0() { return 1; }
+uint64_t Sum2(uint64_t a, uint64_t b) { return a + b; }
+uint64_t Sum4(uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
+  return a + b + c + d;
+}
+uint64_t Sum8(uint64_t a, uint64_t b, uint64_t c, uint64_t d, uint64_t e,
+              uint64_t f, uint64_t g, uint64_t h) {
+  return a + b + c + d + e + f + g + h;
+}
+
+struct SyncResult {
+  LatencyStats wire;    // virtual-time roundtrip (what the raiser waits)
+  LatencyStats host;    // real-clock processing per raise
+  size_t request_bytes; // encoded request payload
+};
+
+// One proxy, `rounds` sync raises; virtual-time and wall-time per raise.
+template <typename... Args>
+SyncResult SyncRoundtrip(int rounds, uint64_t (*handler)(Args...),
+                         Args... args) {
+  Rig rig;
+  spin::Event<uint64_t(Args...)> server_ev("Bench.Remote", nullptr, nullptr,
+                                           &rig.dispatcher);
+  rig.dispatcher.InstallHandler(server_ev, handler);
+  rig.exporter.Export(server_ev);
+  spin::Event<uint64_t(Args...)> client_ev("Bench.Remote", nullptr, nullptr,
+                                           &rig.dispatcher);
+  spin::remote::EventProxy proxy(rig.client, &rig.sim, client_ev,
+                                 rig.Opts(9100));
+
+  client_ev.Raise(args...);  // warmup (exporter map, socket path)
+  std::vector<uint64_t> wire_ns(rounds);
+  std::vector<uint64_t> host_ns(rounds);
+  for (int i = 0; i < rounds; ++i) {
+    uint64_t v0 = rig.sim.now_ns();
+    uint64_t w0 = spin::NowNs();
+    client_ev.Raise(args...);
+    host_ns[i] = spin::NowNs() - w0;
+    wire_ns[i] = rig.sim.now_ns() - v0;
+  }
+
+  spin::remote::RequestMsg probe;
+  probe.event_name = "Bench.Remote";
+  probe.params.assign(sizeof...(Args),
+                      spin::remote::WireParam{
+                          static_cast<uint8_t>(spin::TypeClass::kUInt64),
+                          false});
+  probe.args.assign(sizeof...(Args), 0);
+  return SyncResult{StatsFromSamples(std::move(wire_ns)),
+                    StatsFromSamples(std::move(host_ns)),
+                    spin::remote::EncodeRequest(probe).size()};
+}
+
+// Sync raises against a wire with seeded random loss: the median stays at
+// the clean roundtrip, the tail pays the retry timeouts.
+LatencyStats RetryPathStats(int rounds, double loss, uint64_t seed,
+                            int* timed_out) {
+  Rig rig;
+  rig.wire.SetRandomLoss(loss, seed);
+  spin::Event<uint64_t(uint64_t, uint64_t)> server_ev(
+      "Bench.Remote", nullptr, nullptr, &rig.dispatcher);
+  rig.dispatcher.InstallHandler(server_ev, &Sum2);
+  rig.exporter.Export(server_ev);
+  spin::Event<uint64_t(uint64_t, uint64_t)> client_ev(
+      "Bench.Remote", nullptr, nullptr, &rig.dispatcher);
+  spin::remote::ProxyOptions opts = rig.Opts(9101);
+  opts.max_attempts = 10;
+  spin::remote::EventProxy proxy(rig.client, &rig.sim, client_ev, opts);
+
+  std::vector<uint64_t> wire_ns;
+  wire_ns.reserve(rounds);
+  *timed_out = 0;
+  for (int i = 0; i < rounds; ++i) {
+    uint64_t v0 = rig.sim.now_ns();
+    try {
+      client_ev.Raise(i, i);
+      wire_ns.push_back(rig.sim.now_ns() - v0);
+    } catch (const spin::RemoteError&) {
+      ++*timed_out;  // deterministic outcome of the seed; not a sample
+    }
+  }
+  return StatsFromSamples(std::move(wire_ns));
+}
+
+struct AsyncResult {
+  double raises_per_sec;  // wall-clock enqueue+drain+flush pipeline rate
+  LatencyStats enqueue;   // real-clock cost of one fire-and-forget raise
+  uint64_t delivered;
+};
+
+AsyncResult AsyncThroughput(int batches, int batch_size) {
+  Rig rig;
+  std::atomic<uint64_t> delivered{0};
+  spin::Event<void(uint64_t)> server_ev("Bench.Async", nullptr, nullptr,
+                                        &rig.dispatcher);
+  rig.dispatcher.InstallLambda(server_ev, [&delivered](uint64_t) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  rig.exporter.Export(server_ev);
+  spin::Event<void(uint64_t)> client_ev("Bench.Async", nullptr, nullptr,
+                                        &rig.dispatcher);
+  spin::remote::ProxyOptions opts = rig.Opts(9102);
+  opts.kind = spin::remote::RaiseKind::kAsync;
+  spin::remote::EventProxy proxy(rig.client, &rig.sim, client_ev, opts);
+
+  std::vector<uint64_t> enqueue_ns;
+  enqueue_ns.reserve(static_cast<size_t>(batches) * batch_size);
+  uint64_t wall_start = spin::NowNs();
+  for (int b = 0; b < batches; ++b) {
+    for (int i = 0; i < batch_size; ++i) {
+      uint64_t t0 = spin::NowNs();
+      client_ev.Raise(static_cast<uint64_t>(i));
+      enqueue_ns.push_back(spin::NowNs() - t0);
+    }
+    rig.dispatcher.pool().Drain();  // marshals run on pool threads
+    proxy.Flush();                  // sim thread hands datagrams to the wire
+    rig.sim.Run();
+  }
+  uint64_t wall_ns = spin::NowNs() - wall_start;
+  AsyncResult result;
+  result.raises_per_sec = static_cast<double>(batches) * batch_size * 1e9 /
+                          static_cast<double>(wall_ns);
+  result.enqueue = StatsFromSamples(std::move(enqueue_ns));
+  result.delivered = delivered.load();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using spin::bench::JsonRow;
+  using spin::bench::Rule;
+  std::printf("Remote event dispatch (10 Mb/s wire, 25 us propagation per "
+              "hop; roundtrip in VIRTUAL ns,\nhost processing in real ns)\n");
+  Rule('=');
+
+  std::printf("sync roundtrip vs payload size:\n");
+  std::printf("%-8s %-10s %-16s %-18s %-16s\n", "args", "req bytes",
+              "wire p50 (us)", "host proc p50 (ns)", "wire share");
+  Rule();
+  const int kRounds = 400;
+  struct NamedSync {
+    const char* name;
+    SyncResult r;
+  };
+  std::vector<NamedSync> sync_rows;
+  sync_rows.push_back({"sync_rt_args0", SyncRoundtrip(kRounds, &Sum0)});
+  sync_rows.push_back({"sync_rt_args2",
+                       SyncRoundtrip<uint64_t, uint64_t>(kRounds, &Sum2, 1,
+                                                         2)});
+  sync_rows.push_back(
+      {"sync_rt_args4",
+       SyncRoundtrip<uint64_t, uint64_t, uint64_t, uint64_t>(kRounds, &Sum4,
+                                                             1, 2, 3, 4)});
+  sync_rows.push_back(
+      {"sync_rt_args8",
+       SyncRoundtrip<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                     uint64_t, uint64_t, uint64_t>(kRounds, &Sum8, 1, 2, 3,
+                                                   4, 5, 6, 7, 8)});
+  for (size_t i = 0; i < sync_rows.size(); ++i) {
+    const SyncResult& r = sync_rows[i].r;
+    // Wire and host times live on different clocks (virtual vs. real);
+    // the ratio still shows which one the raiser actually waits on.
+    double share = static_cast<double>(r.wire.p50_ns) /
+                   static_cast<double>(r.wire.p50_ns + r.host.p50_ns);
+    std::printf("%-8d %-10zu %-16.1f %-18llu %.4f\n",
+                static_cast<int>(i == 0 ? 0 : 1u << i), r.request_bytes,
+                static_cast<double>(r.wire.p50_ns) / 1e3,
+                static_cast<unsigned long long>(r.host.p50_ns), share);
+  }
+  Rule();
+  std::printf("expected shape: roundtrip is wire-dominated (~150 us) and "
+              "grows ~7.2 us per extra\nargument (9 request bytes — tag + "
+              "value — at 800 ns/byte); host processing is noise\nbeside "
+              "it\n\n");
+
+  const double kLoss = 0.2;
+  int timed_out = 0;
+  LatencyStats retry = RetryPathStats(kRounds, kLoss, /*seed=*/42,
+                                      &timed_out);
+  std::printf("retry path (%.0f%% seeded random loss, 10 attempts, 2 ms "
+              "first timeout):\n", kLoss * 100);
+  std::printf("  p50 %.1f us   p90 %.1f us   p99 %.1f us   max %.1f us   "
+              "timed out %d/%d\n",
+              static_cast<double>(retry.p50_ns) / 1e3,
+              static_cast<double>(retry.p90_ns) / 1e3,
+              static_cast<double>(retry.p99_ns) / 1e3,
+              static_cast<double>(retry.max_ns) / 1e3, timed_out, kRounds);
+  std::printf("expected shape: p50 stays at the clean roundtrip; the tail "
+              "absorbs 2/6/14 ms of\nbacked-off retries\n\n");
+
+  AsyncResult async = AsyncThroughput(/*batches=*/50, /*batch_size=*/64);
+  std::printf("async fire-and-forget (batches of 64 through the pool "
+              "outbox):\n");
+  std::printf("  pipeline rate %.0f raises/s, enqueue p50 %llu ns, "
+              "delivered %llu/3200\n",
+              async.raises_per_sec,
+              static_cast<unsigned long long>(async.enqueue.p50_ns),
+              static_cast<unsigned long long>(async.delivered));
+  std::printf("expected shape: the raiser pays only the enqueue; wire time "
+              "overlaps across the batch\n");
+
+  std::printf("\nlatency distributions (JSON, 1 row per case; sync/retry "
+              "rows are virtual-time ns):\n");
+  for (const NamedSync& row : sync_rows) {
+    JsonRow("remote", row.name, row.r.wire);
+  }
+  {
+    char name[48];
+    std::snprintf(name, sizeof(name), "sync_rt_loss%d",
+                  static_cast<int>(kLoss * 100));
+    JsonRow("remote", name, retry);
+  }
+  JsonRow("remote", "async_enqueue", async.enqueue);
+  return 0;
+}

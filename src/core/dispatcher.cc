@@ -392,6 +392,27 @@ BindingHandle Dispatcher::InstallMicroHandler(EventBase& event,
   return Install(event, std::move(binding), opts);
 }
 
+BindingHandle Dispatcher::InstallErasedHandler(EventBase& event, void* ctx,
+                                               HandlerInvoker invoker,
+                                               const InstallOptions& opts) {
+  auto binding = std::make_shared<Binding>();
+  binding->sig = event.sig();
+  binding->fn = ctx;
+  binding->invoker = invoker;
+  binding->owner = opts.module;
+  binding->async = opts.async;
+  binding->ephemeral = opts.ephemeral;
+  // Erased handlers have no native-ABI entry the stub compiler could call
+  // (`fn` is an opaque context, not a procedure), so the binding must take
+  // the interpreted path unconditionally — `erased` bars it from the
+  // direct-call bypass and the generated stub, and may_throw lets the
+  // invoker surface exceptions through the raise.
+  binding->erased = true;
+  binding->may_throw = true;
+  binding->order = opts.order;
+  return Install(event, std::move(binding), opts);
+}
+
 void Dispatcher::AddMicroGuard(const BindingHandle& binding,
                                micro::Program prog) {
   if (!prog.functional()) {
@@ -721,8 +742,9 @@ void Dispatcher::RebuildLocked(EventBase& event) {
       table->async_bindings.empty() && table->sync_bindings.size() == 1 &&
       table->custom_fold == nullptr) {
     const Binding& only = *table->sync_bindings[0];
-    if (only.fn != nullptr && !only.closure_form && only.guards().empty() &&
-        only.byref_params.empty() && !only.ephemeral) {
+    if (only.fn != nullptr && !only.closure_form && !only.erased &&
+        only.guards().empty() && only.byref_params.empty() &&
+        !only.ephemeral) {
       direct_candidate = only.fn;
     }
   }
@@ -745,7 +767,7 @@ void Dispatcher::RebuildLocked(EventBase& event) {
     for (const BindingHandle& binding : table->sync_bindings) {
       // Guarded by mu_; compiled micro bodies are cached on the clauses.
       auto& mutable_binding = const_cast<Binding&>(*binding);
-      if (binding->ephemeral || binding->may_throw ||
+      if (binding->ephemeral || binding->may_throw || binding->erased ||
           !CallableJitable(mutable_binding, config_.inline_micro,
                            num_args)) {
         jitable = false;

@@ -132,6 +132,19 @@ class Dispatcher {
   BindingHandle InstallMicroHandler(EventBase& event, micro::Program prog,
                                     const InstallOptions& opts = {});
 
+  // Installs a type-erased handler: `invoker` is called with `ctx` and the
+  // raw argument slots of each raise. This is the hook proxy layers build
+  // on (src/remote installs event proxies this way): the proxy reads the
+  // slots against the event's runtime signature instead of a C++ one, so
+  // one proxy implementation serves every marshalable event shape. The
+  // binding adopts the event's own signature and always dispatches through
+  // the interpreter (`ctx` is not a procedure the stub compiler could
+  // call), which also lets the proxy surface failures as exceptions
+  // (RemoteError) through the raise.
+  BindingHandle InstallErasedHandler(EventBase& event, void* ctx,
+                                     HandlerInvoker invoker,
+                                     const InstallOptions& opts = {});
+
   // --- Guards ----------------------------------------------------------
 
   template <typename R, typename... A>

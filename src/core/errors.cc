@@ -26,4 +26,20 @@ const char* InstallStatusName(InstallStatus status) {
   return "<bad>";
 }
 
+const char* RemoteStatusName(RemoteStatus status) {
+  switch (status) {
+    case RemoteStatus::kUnmarshalable:
+      return "signature is not marshalable for remote dispatch";
+    case RemoteStatus::kTimeout:
+      return "remote raise timed out";
+    case RemoteStatus::kDead:
+      return "remote binding is gone";
+    case RemoteStatus::kRemoteException:
+      return "remote handler threw";
+    case RemoteStatus::kProtocol:
+      return "remote dispatch protocol error";
+  }
+  return "<bad>";
+}
+
 }  // namespace spin

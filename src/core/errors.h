@@ -77,6 +77,37 @@ class TerminatedError : public DispatchError {
   TerminatedError() : DispatchError("ephemeral handler terminated") {}
 };
 
+// --- Remote dispatch (src/remote) ------------------------------------------
+//
+// When a binding is a proxy for handlers on another host, a raise can fail
+// in ways a local dispatch cannot: the signature may not be marshalable,
+// the remote side may never answer, the remote binding may be gone, or the
+// remote handler may itself have thrown. The error type lives in core so
+// that raisers can catch it without depending on the remote layer, exactly
+// as they catch NoHandlerError without depending on any handler.
+enum class RemoteStatus : uint8_t {
+  kUnmarshalable,     // signature rejected at proxy-install time
+  kTimeout,           // no reply within the retry budget
+  kDead,              // remote binding uninstalled / event unknown
+  kRemoteException,   // the remote handler threw; message carried back
+  kProtocol,          // malformed or mismatched wire traffic
+};
+
+const char* RemoteStatusName(RemoteStatus status);
+
+class RemoteError : public DispatchError {
+ public:
+  RemoteError(RemoteStatus status, const std::string& detail)
+      : DispatchError(std::string(RemoteStatusName(status)) +
+                      (detail.empty() ? "" : ": " + detail)),
+        status_(status) {}
+
+  RemoteStatus status() const { return status_; }
+
+ private:
+  RemoteStatus status_;
+};
+
 }  // namespace spin
 
 #endif  // SRC_CORE_ERRORS_H_

@@ -87,6 +87,7 @@ bool CompressionExtension::Compress(CompressionExtension* ext,
   packet->Put16(kUdpLenOff, static_cast<uint16_t>(8 + compressed_len));
   packet->data[kIpTosOff] = kCompressedTos;
   StampIpChecksum(*packet);  // the TOS marker changed the header
+  StampUdpChecksum(*packet);  // the payload bytes changed too
   ++ext->compressed_;
   ext->bytes_saved_ += payload_len - compressed_len;
   return true;
@@ -107,6 +108,7 @@ bool CompressionExtension::Decompress(CompressionExtension* ext,
   packet->data[kIpTosOff] = 0;  // restore the original header
   packet->Put16(kUdpLenOff, static_cast<uint16_t>(8 + payload_len));
   StampIpChecksum(*packet);
+  StampUdpChecksum(*packet);
   ++ext->decompressed_;
   return false;  // transformed, not consumed: the IP layer still runs
 }

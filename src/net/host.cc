@@ -1,5 +1,8 @@
 #include "src/net/host.h"
 
+#include <ostream>
+
+#include "src/obs/export.h"
 #include "src/rt/panic.h"
 
 namespace spin {
@@ -33,6 +36,45 @@ void Wire::Attach(Host& a, Host& b) {
   b.AttachWire(this);
 }
 
+void Wire::SetRandomLoss(double probability, uint64_t seed) {
+  random_loss_ = probability;
+  // xorshift64* needs nonzero state; fold the seed through a fixed odd
+  // constant so seed 0 still produces a valid stream.
+  rng_state_ = seed ^ 0x9e3779b97f4a7c15ull;
+  if (rng_state_ == 0) {
+    rng_state_ = 1;
+  }
+}
+
+bool Wire::ShouldDrop(const Packet& packet) {
+  if (loss_pattern_ != 0 && frame_count_ % loss_pattern_ == 0) {
+    return true;
+  }
+  if (random_loss_ > 0) {
+    // xorshift64* (Vigna): consumed once per frame regardless of the other
+    // mechanisms, so the drop pattern depends only on seed + frame index.
+    uint64_t x = rng_state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rng_state_ = x;
+    uint64_t r = x * 0x2545f4914f6cdd1dull;
+    if (static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0) <
+        random_loss_) {
+      return true;
+    }
+  }
+  uint64_t now = sim_->now_ns();
+  if (partition_to_ns_ > partition_from_ns_ && now >= partition_from_ns_ &&
+      now < partition_to_ns_) {
+    return true;
+  }
+  if (drop_hook_ && drop_hook_(packet, now, frame_count_)) {
+    return true;
+  }
+  return false;
+}
+
 void Wire::Send(Host& from, const Packet& packet) {
   SPIN_ASSERT(a_ != nullptr && b_ != nullptr);
   Host* to = &from == a_ ? b_ : a_;
@@ -41,7 +83,7 @@ void Wire::Send(Host& from, const Packet& packet) {
   uint64_t done = start + model_.SerializationNs(packet.len);
   busy_until_ns_ = done;
   ++frame_count_;
-  if (loss_pattern_ != 0 && frame_count_ % loss_pattern_ == 0) {
+  if (ShouldDrop(packet)) {
     ++lost_;
     return;  // the frame burned airtime but never arrives
   }
@@ -100,6 +142,25 @@ Host::Host(std::string name, uint32_t ip, Dispatcher* dispatcher)
   auto tcp_binding = dispatcher_->InstallHandler(
       IpPacketArrived, &Host::TcpInput, this, {.module = &module_});
   dispatcher_->AddMicroGuard(tcp_binding, IpProtoGuard(kIpProtoTcp));
+
+  obs::RegisterSource(this, &Host::ExportMetricsSource);
+}
+
+Host::~Host() { obs::UnregisterSource(this); }
+
+void Host::ExportMetricsSource(void* ctx, std::ostream& os) {
+  auto* self = static_cast<Host*>(ctx);
+  auto line = [&os, self](const char* name, uint64_t value) {
+    os << name << "{host=\"";
+    obs::WriteLabelValue(os, self->name_);
+    os << "\"} " << value << "\n";
+  };
+  line("spin_net_rx_packets_total", self->rx_);
+  line("spin_net_tx_packets_total", self->tx_);
+  line("spin_net_rx_dropped_total", self->dropped_);
+  line("spin_net_tx_dropped_total", self->tx_dropped_);
+  line("spin_net_ip_checksum_drops_total", self->checksum_drops_);
+  line("spin_net_udp_checksum_drops_total", self->udp_checksum_drops_);
 }
 
 bool Host::IpInput(Host* host, Packet* packet) {
@@ -111,6 +172,10 @@ bool Host::IpInput(Host* host, Packet* packet) {
 }
 
 bool Host::UdpInput(Host* host, Packet* packet) {
+  if (!VerifyUdpChecksum(*packet)) {
+    ++host->udp_checksum_drops_;
+    return false;
+  }
   return host->UdpPacketArrived.Raise(packet);
 }
 

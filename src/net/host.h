@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -26,8 +27,20 @@ namespace net {
 class Host;
 
 // A point-to-point link between two hosts, timed by the simulator.
+//
+// Failure injection: four independent mechanisms decide whether a frame
+// that has already burned its airtime actually arrives — a deterministic
+// every-nth pattern, a seeded pseudo-random loss rate, a partition window
+// in virtual time, and an arbitrary per-frame hook. All are deterministic
+// given the same seed and send sequence, so retry/backoff behavior above
+// the wire (TCP retransmit, remote dispatch) replays exactly.
 class Wire {
  public:
+  // Drop decision hook: return true to drop the frame. `frame_index` is
+  // the 1-based count of frames offered to the wire.
+  using DropHook = std::function<bool(const Packet& packet, uint64_t now_ns,
+                                      uint64_t frame_index)>;
+
   Wire(sim::Simulator* sim, sim::LinkModel model)
       : sim_(sim), model_(model) {}
 
@@ -39,18 +52,42 @@ class Wire {
   void SetLossPattern(uint32_t drop_every_nth) {
     loss_pattern_ = drop_every_nth;
   }
+
+  // Seeded pseudo-random loss: each frame is dropped with `probability`
+  // (xorshift64*, so the drop pattern is a pure function of the seed and
+  // the frame sequence). probability <= 0 disables.
+  void SetRandomLoss(double probability, uint64_t seed);
+
+  // Partition window: every frame sent at virtual time t in
+  // [from_ns, to_ns) vanishes. SetPartition(0, 0) heals the partition.
+  void SetPartition(uint64_t from_ns, uint64_t to_ns) {
+    partition_from_ns_ = from_ns;
+    partition_to_ns_ = to_ns;
+  }
+
+  // Arbitrary injection (consulted last; nullptr disables).
+  void SetDropHook(DropHook hook) { drop_hook_ = std::move(hook); }
+
   uint64_t frames_lost() const { return lost_; }
+  uint64_t frames_offered() const { return frame_count_; }
 
   uint64_t bytes_carried() const { return bytes_; }
   const sim::LinkModel& model() const { return model_; }
 
  private:
+  bool ShouldDrop(const Packet& packet);
+
   sim::Simulator* sim_;
   sim::LinkModel model_;
   Host* a_ = nullptr;
   Host* b_ = nullptr;
   uint64_t bytes_ = 0;
   uint32_t loss_pattern_ = 0;
+  double random_loss_ = 0;
+  uint64_t rng_state_ = 0;
+  uint64_t partition_from_ns_ = 0;
+  uint64_t partition_to_ns_ = 0;
+  DropHook drop_hook_;
   uint64_t frame_count_ = 0;
   uint64_t lost_ = 0;
   // The medium serializes one frame at a time; transmission of frame n+1
@@ -62,6 +99,9 @@ class Wire {
 class Host {
  public:
   Host(std::string name, uint32_t ip, Dispatcher* dispatcher);
+  ~Host();
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
 
   const std::string& host_name() const { return name_; }
   uint32_t ip() const { return ip_; }
@@ -95,6 +135,7 @@ class Host {
   uint64_t dropped_packets() const { return dropped_; }
   uint64_t tx_dropped_packets() const { return tx_dropped_; }
   uint64_t checksum_drops() const { return checksum_drops_; }
+  uint64_t udp_checksum_drops() const { return udp_checksum_drops_; }
 
   // The wire-transmit binding: the target for imposed outbound-policy
   // guards (firewalling, rate limiting).
@@ -107,6 +148,7 @@ class Host {
   static bool Drop(Host* host, Packet* packet);
   static bool DropOutbound(Host* host, Packet* packet);
   static bool WireTransmit(Host* host, Packet* packet);
+  static void ExportMetricsSource(void* ctx, std::ostream& os);
 
   std::string name_;
   uint32_t ip_;
@@ -119,6 +161,7 @@ class Host {
   uint64_t dropped_ = 0;
   uint64_t tx_dropped_ = 0;
   uint64_t checksum_drops_ = 0;
+  uint64_t udp_checksum_drops_ = 0;
 };
 
 // A bound UDP endpoint: installs a port-guarded handler on the host's

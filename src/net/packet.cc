@@ -44,6 +44,44 @@ bool VerifyIpChecksum(const Packet& packet) {
   return packet.Get16(kIpChecksumOff) == IpHeaderChecksum(packet);
 }
 
+uint16_t UdpChecksum(const Packet& packet) {
+  uint32_t sum = 0;
+  // Pseudo-header: src addr, dst addr, zero+protocol, UDP length.
+  sum += packet.Get16(kIpSrcOff) + packet.Get16(kIpSrcOff + 2);
+  sum += packet.Get16(kIpDstOff) + packet.Get16(kIpDstOff + 2);
+  sum += kIpProtoUdp;
+  uint16_t udp_len = packet.Get16(kUdpLenOff);
+  sum += udp_len;
+  // UDP header + payload, checksum field as zero, odd tail zero-padded.
+  size_t end = kL4Off + udp_len;
+  if (end > packet.len) {
+    end = packet.len;  // truncated frame; checksum over what is present
+  }
+  for (size_t off = kL4Off; off + 1 < end; off += 2) {
+    if (off == kUdpChecksumOff) {
+      continue;
+    }
+    sum += packet.Get16(off);
+  }
+  if (((end - kL4Off) & 1) != 0) {
+    sum += static_cast<uint16_t>(packet.data[end - 1] << 8);
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  uint16_t checksum = static_cast<uint16_t>(~sum);
+  return checksum == 0 ? 0xffff : checksum;
+}
+
+void StampUdpChecksum(Packet& packet) {
+  packet.Put16(kUdpChecksumOff, UdpChecksum(packet));
+}
+
+bool VerifyUdpChecksum(const Packet& packet) {
+  uint16_t stored = packet.Get16(kUdpChecksumOff);
+  return stored == 0 || stored == UdpChecksum(packet);
+}
+
 Packet MakeUdpPacket(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
                      uint16_t dst_port, const std::string& payload) {
   Packet packet;
@@ -53,6 +91,7 @@ Packet MakeUdpPacket(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
   packet.Put16(kDstPortOff, dst_port);
   packet.Put16(kUdpLenOff, static_cast<uint16_t>(8 + payload.size()));
   std::memcpy(packet.data + kUdpPayloadOff, payload.data(), payload.size());
+  StampUdpChecksum(packet);
   return packet;
 }
 

@@ -96,6 +96,7 @@ inline uint64_t PortFieldValue(uint16_t port) {
 }
 
 inline constexpr size_t kIpChecksumOff = kIpOff + 10;  // 24
+inline constexpr size_t kUdpChecksumOff = kL4Off + 6;  // 40
 
 // RFC 791 ones-complement checksum over the 20-byte IP header.
 uint16_t IpHeaderChecksum(const Packet& packet);
@@ -105,6 +106,21 @@ void StampIpChecksum(Packet& packet);
 
 // True when the stored checksum matches the header contents.
 bool VerifyIpChecksum(const Packet& packet);
+
+// RFC 768 UDP checksum: ones-complement sum over the pseudo-header
+// (source/destination address, protocol, UDP length) and the UDP header +
+// payload, with the checksum field taken as zero. A computed value of 0 is
+// transmitted as 0xffff so that 0 can keep its RFC meaning of "no checksum
+// supplied".
+uint16_t UdpChecksum(const Packet& packet);
+
+// Writes the UDP checksum (done by MakeUdpPacket and by any extension that
+// rewrites the UDP payload in place, e.g. the compression extension).
+void StampUdpChecksum(Packet& packet);
+
+// True when the stored checksum matches the segment contents, or when the
+// sender supplied none (field is 0).
+bool VerifyUdpChecksum(const Packet& packet);
 
 Packet MakeUdpPacket(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
                      uint16_t dst_port, const std::string& payload);

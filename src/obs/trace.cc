@@ -80,6 +80,18 @@ const char* TraceKindName(TraceKind kind) {
       return "lazy_promote";
     case TraceKind::kEpochReclaim:
       return "epoch_reclaim";
+    case TraceKind::kRemoteMarshal:
+      return "remote_marshal";
+    case TraceKind::kRemoteSend:
+      return "remote_send";
+    case TraceKind::kRemoteRetry:
+      return "remote_retry";
+    case TraceKind::kRemoteReply:
+      return "remote_reply";
+    case TraceKind::kRemoteTimeout:
+      return "remote_timeout";
+    case TraceKind::kRemoteDedup:
+      return "remote_dedup";
   }
   return "unknown";
 }

@@ -39,6 +39,13 @@ enum class TraceKind : uint8_t {
   kStubCompile,   // dispatch routine compiled; arg = code bytes
   kLazyPromote,   // lazy event promoted to compiled dispatch
   kEpochReclaim,  // epoch reclamation freed objects; arg = count
+  // Remote event dispatch (src/remote). `name` is the remote event name.
+  kRemoteMarshal,  // arguments marshaled; arg = wire payload bytes
+  kRemoteSend,     // request handed to the network; arg = request id
+  kRemoteRetry,    // attempt timed out, resending; arg = attempt number
+  kRemoteReply,    // reply matched to a pending request; arg = request id
+  kRemoteTimeout,  // retry budget exhausted; arg = request id
+  kRemoteDedup,    // duplicate delivery suppressed; arg = request id
 };
 const char* TraceKindName(TraceKind kind);
 

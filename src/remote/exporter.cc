@@ -1,0 +1,147 @@
+#include "src/remote/exporter.h"
+
+#include <exception>
+#include <ostream>
+
+#include "src/codegen/frame.h"
+#include "src/core/dispatcher.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
+
+namespace spin {
+namespace remote {
+
+Exporter::Exporter(net::Host& host, uint16_t port)
+    : host_(host), port_(port) {
+  socket_ = std::make_unique<net::UdpSocket>(
+      host_, port_,
+      [this](const net::Packet& packet) { OnDatagram(packet); });
+  obs::RegisterSource(this, &Exporter::ExportMetricsSource);
+}
+
+Exporter::~Exporter() { obs::UnregisterSource(this); }
+
+void Exporter::Export(EventBase& event) {
+  MarshalPlan plan = PlanFor(event.sig(), event.name());
+  exports_[event.name()] = Entry{&event, std::move(plan)};
+  withdrawn_.erase(event.name());
+}
+
+void Exporter::Unexport(EventBase& event) {
+  if (exports_.erase(event.name()) != 0) {
+    withdrawn_.insert(event.name());
+  }
+}
+
+void Exporter::OnDatagram(const net::Packet& packet) {
+  std::string payload = packet.UdpPayload();
+  RequestMsg request;
+  if (!DecodeRequest(payload, &request)) {
+    ++bad_requests_;
+    return;  // not ours, or torn; nothing sane to reply to
+  }
+  ++requests_;
+
+  DedupKey key{packet.ip_src(), packet.src_port(), request.request_id};
+  if (auto it = replay_.find(key); it != replay_.end()) {
+    ++dedup_hits_;
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteDedup,
+                                       obs::Intern(request.event_name),
+                                       request.request_id);
+    if (request.kind == RaiseKind::kSync) {
+      socket_->SendTo(packet.ip_src(), packet.src_port(), it->second);
+    }
+    return;  // at-most-once: the event does not raise again
+  }
+
+  ReplyMsg reply = Dispatch(request);
+  std::string encoded = EncodeReply(reply);
+  replay_.emplace(key, encoded);
+  replay_fifo_.push_back(key);
+  while (replay_fifo_.size() > kDedupWindow) {
+    replay_.erase(replay_fifo_.front());
+    replay_fifo_.pop_front();
+  }
+  if (request.kind == RaiseKind::kSync) {
+    socket_->SendTo(packet.ip_src(), packet.src_port(), encoded);
+  }
+}
+
+ReplyMsg Exporter::Dispatch(const RequestMsg& request) {
+  ReplyMsg reply;
+  reply.request_id = request.request_id;
+
+  auto it = exports_.find(request.event_name);
+  if (it == exports_.end()) {
+    if (withdrawn_.count(request.event_name) != 0) {
+      ++unbound_;
+      reply.status = WireStatus::kUnbound;
+    } else {
+      reply.status = WireStatus::kNoSuchEvent;
+    }
+    return reply;
+  }
+  const Entry& entry = it->second;
+  if (request.params != entry.plan.params ||
+      request.args.size() != entry.plan.params.size()) {
+    ++bad_requests_;
+    reply.status = WireStatus::kBadRequest;
+    reply.error = "signature mismatch for " + request.event_name;
+    return reply;
+  }
+
+  // Materialize the frame. VAR parameters point into local copy-in/out
+  // storage; the exporter's handlers mutate that storage, and the final
+  // values travel back in the reply.
+  RaiseFrame frame;
+  uint64_t var_storage[kMaxEventArgs] = {};
+  for (size_t i = 0; i < entry.plan.params.size(); ++i) {
+    const WireParam& p = entry.plan.params[i];
+    if (p.by_ref) {
+      StoreScalar(static_cast<TypeClass>(p.cls), &var_storage[i],
+                  request.args[i]);
+      frame.args[i] = reinterpret_cast<uintptr_t>(&var_storage[i]);
+    } else {
+      frame.args[i] = request.args[i];
+    }
+  }
+
+  try {
+    entry.event->RaiseErased(frame);
+  } catch (const std::exception& e) {
+    ++exceptions_;
+    reply.status = WireStatus::kException;
+    reply.error = e.what();
+    return reply;
+  }
+
+  reply.status = WireStatus::kOk;
+  if (entry.plan.has_result()) {
+    reply.result = frame.result;
+  }
+  for (size_t i = 0; i < entry.plan.params.size(); ++i) {
+    const WireParam& p = entry.plan.params[i];
+    if (p.by_ref) {
+      reply.byref.push_back(
+          LoadScalar(static_cast<TypeClass>(p.cls), &var_storage[i]));
+    }
+  }
+  return reply;
+}
+
+void Exporter::ExportMetricsSource(void* ctx, std::ostream& os) {
+  auto* self = static_cast<Exporter*>(ctx);
+  auto line = [&os, self](const char* name, uint64_t value) {
+    os << name << "{host=\"";
+    obs::WriteLabelValue(os, self->host_.host_name());
+    os << "\"} " << value << "\n";
+  };
+  line("spin_remote_server_requests_total", self->requests_);
+  line("spin_remote_server_dedup_hits_total", self->dedup_hits_);
+  line("spin_remote_server_exceptions_total", self->exceptions_);
+  line("spin_remote_server_bad_requests_total", self->bad_requests_);
+  line("spin_remote_server_unbound_total", self->unbound_);
+}
+
+}  // namespace remote
+}  // namespace spin

@@ -1,0 +1,90 @@
+// The exporter: the server half of remote event dispatch.
+//
+// An Exporter listens on a UDP port of its host and makes selected local
+// events raisable from other hosts. For each request it materializes a
+// RaiseFrame from the wire values (VAR parameters get copy-in/copy-out
+// storage), raises the event through the ordinary dispatcher — guards,
+// ordering, result folding and all — and ships the result, the final VAR
+// values, or the thrown exception back in the reply.
+//
+// Delivery is at-most-once per request id: the reply to every sync request
+// is cached keyed by (source ip, source port, request id), and a duplicate
+// delivery — a retransmission whose original did arrive — replays the
+// cached reply without re-raising the event. Duplicate async requests are
+// simply dropped. The cache is a FIFO window (kDedupWindow entries), sized
+// far beyond any retry budget a proxy can configure.
+#ifndef SRC_REMOTE_EXPORTER_H_
+#define SRC_REMOTE_EXPORTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/net/host.h"
+#include "src/remote/marshal.h"
+#include "src/remote/wire_format.h"
+
+namespace spin {
+namespace remote {
+
+class Exporter {
+ public:
+  static constexpr size_t kDedupWindow = 1024;
+
+  explicit Exporter(net::Host& host, uint16_t port = kDefaultRemotePort);
+  ~Exporter();
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  // Registers `event` for remote raising under its name. Throws
+  // RemoteError(kUnmarshalable) when the signature cannot cross the wire,
+  // so an export that succeeds can serve every request shape it admits.
+  void Export(EventBase& event);
+
+  // Withdraws an export. Requests for it now earn a kUnbound reply — the
+  // proxy side turns that into RemoteError(kDead) instead of retrying
+  // against a binding that will never come back.
+  void Unexport(EventBase& event);
+
+  uint16_t port() const { return port_; }
+  uint64_t requests() const { return requests_; }
+  uint64_t dedup_hits() const { return dedup_hits_; }
+  uint64_t exceptions() const { return exceptions_; }
+  uint64_t bad_requests() const { return bad_requests_; }
+  uint64_t unbound_requests() const { return unbound_; }
+
+ private:
+  struct Entry {
+    EventBase* event;
+    MarshalPlan plan;
+  };
+  using DedupKey = std::tuple<uint32_t, uint16_t, uint64_t>;
+
+  void OnDatagram(const net::Packet& packet);
+  ReplyMsg Dispatch(const RequestMsg& request);
+  static void ExportMetricsSource(void* ctx, std::ostream& os);
+
+  net::Host& host_;
+  uint16_t port_;
+  std::unique_ptr<net::UdpSocket> socket_;
+  std::map<std::string, Entry> exports_;
+  std::set<std::string> withdrawn_;  // exported once, then removed
+
+  std::map<DedupKey, std::string> replay_;  // encoded cached replies
+  std::deque<DedupKey> replay_fifo_;
+
+  uint64_t requests_ = 0;
+  uint64_t dedup_hits_ = 0;
+  uint64_t exceptions_ = 0;
+  uint64_t bad_requests_ = 0;
+  uint64_t unbound_ = 0;
+};
+
+}  // namespace remote
+}  // namespace spin
+
+#endif  // SRC_REMOTE_EXPORTER_H_

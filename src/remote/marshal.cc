@@ -1,0 +1,160 @@
+#include "src/remote/marshal.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/core/errors.h"
+#include "src/rt/panic.h"
+#include "src/types/type_registry.h"
+
+namespace spin {
+namespace remote {
+namespace {
+
+bool IsScalar(TypeClass cls) {
+  switch (cls) {
+    case TypeClass::kBool:
+    case TypeClass::kInt32:
+    case TypeClass::kUInt32:
+    case TypeClass::kInt64:
+    case TypeClass::kUInt64:
+    case TypeClass::kFloat64:
+      return true;
+    case TypeClass::kVoid:
+    case TypeClass::kPointer:
+      return false;
+  }
+  return false;
+}
+
+// Resolves a VAR parameter's pointee TypeId to the scalar class that
+// describes its memory, or kVoid when the pointee is not a wire scalar.
+TypeClass PointeeClass(TypeId ref_type) {
+  if (ref_type == TypeOf<bool>()) {
+    return TypeClass::kBool;
+  }
+  if (ref_type == TypeOf<int32_t>()) {
+    return TypeClass::kInt32;
+  }
+  if (ref_type == TypeOf<uint32_t>()) {
+    return TypeClass::kUInt32;
+  }
+  if (ref_type == TypeOf<int64_t>()) {
+    return TypeClass::kInt64;
+  }
+  if (ref_type == TypeOf<uint64_t>()) {
+    return TypeClass::kUInt64;
+  }
+  if (ref_type == TypeOf<double>()) {
+    return TypeClass::kFloat64;
+  }
+  return TypeClass::kVoid;
+}
+
+[[noreturn]] void Unmarshalable(const std::string& what, size_t index,
+                                const char* why) {
+  throw RemoteError(RemoteStatus::kUnmarshalable,
+                    what + ", parameter " + std::to_string(index) + ": " +
+                        why);
+}
+
+}  // namespace
+
+MarshalPlan PlanFor(const ProcSig& sig, const std::string& what) {
+  MarshalPlan plan;
+  plan.params.reserve(sig.params.size());
+  for (size_t i = 0; i < sig.params.size(); ++i) {
+    const ParamSig& p = sig.params[i];
+    if (p.by_ref) {
+      TypeClass pointee = PointeeClass(p.ref_type);
+      if (pointee == TypeClass::kVoid) {
+        Unmarshalable(what, i,
+                      "VAR parameter does not reference a wire scalar");
+      }
+      plan.params.push_back(
+          WireParam{static_cast<uint8_t>(pointee), /*by_ref=*/true});
+      ++plan.num_byref;
+    } else if (p.cls == TypeClass::kPointer) {
+      Unmarshalable(what, i, "pointers do not cross an address space");
+    } else if (!IsScalar(p.cls)) {
+      Unmarshalable(what, i, "not a wire scalar");
+    } else {
+      plan.params.push_back(
+          WireParam{static_cast<uint8_t>(p.cls), /*by_ref=*/false});
+    }
+  }
+  if (sig.result.cls == TypeClass::kPointer) {
+    throw RemoteError(RemoteStatus::kUnmarshalable,
+                      what + ": pointer results do not cross the wire");
+  }
+  plan.result_cls = sig.result.cls;
+  return plan;
+}
+
+uint64_t LoadScalar(TypeClass cls, const void* p) {
+  switch (cls) {
+    case TypeClass::kBool: {
+      bool v;
+      std::memcpy(&v, p, sizeof(v));
+      return v ? 1 : 0;
+    }
+    case TypeClass::kInt32: {
+      int32_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return static_cast<uint64_t>(static_cast<int64_t>(v));
+    }
+    case TypeClass::kUInt32: {
+      uint32_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+    case TypeClass::kInt64:
+    case TypeClass::kUInt64: {
+      uint64_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+    case TypeClass::kFloat64: {
+      double v;
+      std::memcpy(&v, p, sizeof(v));
+      return std::bit_cast<uint64_t>(v);
+    }
+    case TypeClass::kVoid:
+    case TypeClass::kPointer:
+      break;
+  }
+  SPIN_PANIC("LoadScalar on non-scalar class");
+}
+
+void StoreScalar(TypeClass cls, void* p, uint64_t v) {
+  switch (cls) {
+    case TypeClass::kBool: {
+      bool b = v != 0;
+      std::memcpy(p, &b, sizeof(b));
+      return;
+    }
+    case TypeClass::kInt32:
+    case TypeClass::kUInt32: {
+      uint32_t w = static_cast<uint32_t>(v);
+      std::memcpy(p, &w, sizeof(w));
+      return;
+    }
+    case TypeClass::kInt64:
+    case TypeClass::kUInt64: {
+      std::memcpy(p, &v, sizeof(v));
+      return;
+    }
+    case TypeClass::kFloat64: {
+      double d = std::bit_cast<double>(v);
+      std::memcpy(p, &d, sizeof(d));
+      return;
+    }
+    case TypeClass::kVoid:
+    case TypeClass::kPointer:
+      break;
+  }
+  SPIN_PANIC("StoreScalar on non-scalar class");
+}
+
+}  // namespace remote
+}  // namespace spin

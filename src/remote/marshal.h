@@ -1,0 +1,51 @@
+// Marshaling plans: what of a ProcSig can cross the wire, and how.
+//
+// Remote dispatch carries exactly what the dispatcher's 8-byte argument
+// slots carry — scalars. A by-value scalar parameter travels as its slot.
+// A VAR (by-ref) parameter travels by copy-in/copy-out: the proxy reads
+// the pointee, ships the value, and writes the exporter's final value back
+// into the caller's variable when the reply arrives — Modula-3 VAR
+// semantics over a network that cannot share an address space.
+//
+// Anything else — a by-value pointer, a VAR parameter whose pointee is not
+// a registered scalar type, a pointer result — is unmarshalable, and
+// PlanFor refuses it with RemoteError(kUnmarshalable). The refusal happens
+// at proxy-install / export time, never at raise time: a proxy that
+// installs is a proxy that can always marshal.
+#ifndef SRC_REMOTE_MARSHAL_H_
+#define SRC_REMOTE_MARSHAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/remote/wire_format.h"
+#include "src/types/signature.h"
+
+namespace spin {
+namespace remote {
+
+struct MarshalPlan {
+  std::vector<WireParam> params;  // tag per event parameter, in order
+  TypeClass result_cls = TypeClass::kVoid;
+  size_t num_byref = 0;
+
+  bool has_result() const { return result_cls != TypeClass::kVoid; }
+};
+
+// Builds the plan for `sig`, or throws RemoteError(kUnmarshalable) naming
+// the offending parameter. `what` labels the error (the event name).
+MarshalPlan PlanFor(const ProcSig& sig, const std::string& what);
+
+// Reads the scalar of class `cls` at `p`, widened to a 64-bit wire value
+// using the same convention as SlotCodec (signed values sign-extend,
+// doubles bit-cast). Assumes the host's native layout (little-endian
+// x86-64 — the same assumption the stub compiler bakes in).
+uint64_t LoadScalar(TypeClass cls, const void* p);
+
+// Writes the wire value `v` back as a scalar of class `cls` at `p`.
+void StoreScalar(TypeClass cls, void* p, uint64_t v);
+
+}  // namespace remote
+}  // namespace spin
+
+#endif  // SRC_REMOTE_MARSHAL_H_

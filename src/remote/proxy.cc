@@ -1,0 +1,235 @@
+#include "src/remote/proxy.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/core/errors.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
+
+namespace spin {
+namespace remote {
+
+EventProxy::EventProxy(net::Host& host, sim::Simulator* sim,
+                       EventBase& event, const ProxyOptions& opts)
+    : host_(host),
+      sim_(sim),
+      event_(event),
+      opts_(opts),
+      plan_(PlanFor(event.sig(), event.name())),
+      module_("Remote.Proxy." + event.name()),
+      obs_name_(event.obs_name()) {
+  if (opts_.kind == RaiseKind::kAsync) {
+    // §2.6 across the wire: a detached raise can return nothing and must
+    // not reference raiser memory after the raiser has moved on.
+    if (plan_.has_result()) {
+      throw RemoteError(RemoteStatus::kUnmarshalable,
+                        event.name() +
+                            ": fire-and-forget proxies cannot return "
+                            "results");
+    }
+    if (plan_.num_byref != 0) {
+      throw RemoteError(RemoteStatus::kUnmarshalable,
+                        event.name() +
+                            ": fire-and-forget proxies cannot take VAR "
+                            "parameters");
+    }
+  }
+  socket_ = std::make_unique<net::UdpSocket>(
+      host_, opts_.local_port,
+      [this](const net::Packet& packet) { OnDatagram(packet); });
+  InstallOptions install;
+  install.module = &module_;
+  install.async = opts_.kind == RaiseKind::kAsync;
+  binding_ = host_.dispatcher().InstallErasedHandler(event_, this,
+                                                     &EventProxy::Invoke,
+                                                     install);
+  obs::RegisterSource(this, &EventProxy::ExportMetricsSource);
+}
+
+EventProxy::~EventProxy() {
+  obs::UnregisterSource(this);
+  if (binding_ != nullptr && binding_->active.load()) {
+    host_.dispatcher().Uninstall(binding_, &module_);
+  }
+}
+
+uint64_t EventProxy::Invoke(void* fn, void* closure, uint64_t* slots) {
+  (void)closure;
+  auto* self = static_cast<EventProxy*>(fn);
+  if (self->opts_.kind == RaiseKind::kAsync) {
+    self->EnqueueAsync(slots);
+    return 0;
+  }
+  return self->RaiseSync(slots);
+}
+
+uint64_t EventProxy::RaiseSync(uint64_t* slots) {
+  ++raises_;
+  if (dead_) {
+    ++dead_raises_;
+    throw RemoteError(RemoteStatus::kDead, event_.name());
+  }
+
+  RequestMsg request;
+  request.kind = RaiseKind::kSync;
+  request.request_id = next_id_++;
+  request.event_name = event_.name();
+  request.params = plan_.params;
+  request.args.reserve(plan_.params.size());
+  for (size_t i = 0; i < plan_.params.size(); ++i) {
+    const WireParam& p = plan_.params[i];
+    if (p.by_ref) {
+      const void* ptr =
+          reinterpret_cast<const void*>(static_cast<uintptr_t>(slots[i]));
+      request.args.push_back(
+          LoadScalar(static_cast<TypeClass>(p.cls), ptr));
+    } else {
+      request.args.push_back(slots[i]);
+    }
+  }
+  std::string encoded = EncodeRequest(request);
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteMarshal,
+                                     obs_name_, encoded.size());
+
+  const uint64_t id = request.request_id;
+  const uint64_t start_ns = sim_->now_ns();
+  uint64_t attempt_timeout = opts_.timeout_ns;
+  bool got = false;
+  for (uint32_t attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++retries_;
+      obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteRetry,
+                                         obs_name_, attempt - 1);
+    }
+    socket_->SendTo(opts_.remote_ip, opts_.remote_port, encoded);
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteSend,
+                                       obs_name_, id);
+    // Pump the simulator up to this attempt's deadline. The sentinel no-op
+    // guarantees the queue holds an entry at the deadline, so RunOne always
+    // advances virtual time — a lost reply cannot stall the loop.
+    const uint64_t deadline = sim_->now_ns() + attempt_timeout;
+    sim_->At(deadline, [] {});
+    while (inbox_.find(id) == inbox_.end() && sim_->now_ns() < deadline &&
+           sim_->RunOne()) {
+    }
+    if (inbox_.find(id) != inbox_.end()) {
+      got = true;
+      break;
+    }
+    attempt_timeout = std::min(attempt_timeout * 2, opts_.max_backoff_ns);
+  }
+  if (!got) {
+    ++timeouts_;
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteTimeout,
+                                       obs_name_, id);
+    throw RemoteError(RemoteStatus::kTimeout,
+                      event_.name() + " after " +
+                          std::to_string(opts_.max_attempts) + " attempts");
+  }
+
+  ReplyMsg reply = std::move(inbox_[id]);
+  inbox_.erase(id);
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteReply,
+                                     obs_name_, id);
+  roundtrip_.Record(sim_->now_ns() - start_ns);
+
+  switch (reply.status) {
+    case WireStatus::kOk:
+      break;
+    case WireStatus::kException:
+      throw RemoteError(RemoteStatus::kRemoteException, reply.error);
+    case WireStatus::kUnbound:
+    case WireStatus::kNoSuchEvent:
+      dead_ = true;
+      throw RemoteError(RemoteStatus::kDead, event_.name());
+    case WireStatus::kBadRequest:
+      throw RemoteError(RemoteStatus::kProtocol, reply.error);
+  }
+
+  if (reply.byref.size() != plan_.num_byref) {
+    throw RemoteError(RemoteStatus::kProtocol,
+                      event_.name() + ": VAR copy-out count mismatch");
+  }
+  size_t out = 0;
+  for (size_t i = 0; i < plan_.params.size(); ++i) {
+    const WireParam& p = plan_.params[i];
+    if (p.by_ref) {
+      void* ptr = reinterpret_cast<void*>(static_cast<uintptr_t>(slots[i]));
+      StoreScalar(static_cast<TypeClass>(p.cls), ptr, reply.byref[out++]);
+    }
+  }
+  return reply.result;
+}
+
+void EventProxy::EnqueueAsync(const uint64_t* slots) {
+  RequestMsg request;
+  request.kind = RaiseKind::kAsync;
+  request.event_name = event_.name();
+  request.params = plan_.params;
+  request.args.assign(slots, slots + plan_.params.size());
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    request.request_id = next_id_++;
+    ++raises_;
+    std::string encoded = EncodeRequest(request);
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteMarshal,
+                                       obs_name_, encoded.size());
+    outbox_.push_back(std::move(encoded));
+  }
+}
+
+size_t EventProxy::Flush() {
+  std::deque<std::string> drained;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    drained.swap(outbox_);
+  }
+  for (const std::string& encoded : drained) {
+    socket_->SendTo(opts_.remote_ip, opts_.remote_port, encoded);
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteSend,
+                                       obs_name_, 0);
+  }
+  return drained.size();
+}
+
+void EventProxy::OnDatagram(const net::Packet& packet) {
+  ReplyMsg reply;
+  if (!DecodeReply(packet.UdpPayload(), &reply)) {
+    return;  // not a reply; ignore
+  }
+  inbox_[reply.request_id] = std::move(reply);
+}
+
+void EventProxy::ExportMetricsSource(void* ctx, std::ostream& os) {
+  auto* self = static_cast<EventProxy*>(ctx);
+  auto label = [self](std::ostream& o) {
+    o << "{host=\"";
+    obs::WriteLabelValue(o, self->host_.host_name());
+    o << "\",event=\"";
+    obs::WriteLabelValue(o, self->event_.name());
+    o << "\"}";
+  };
+  auto line = [&os, &label](const char* name, uint64_t value) {
+    os << name;
+    label(os);
+    os << " " << value << "\n";
+  };
+  line("spin_remote_client_raises_total", self->raises_);
+  line("spin_remote_client_retries_total", self->retries_);
+  line("spin_remote_client_timeouts_total", self->timeouts_);
+  line("spin_remote_client_dead_raises_total", self->dead_raises_);
+  obs::HistogramSnapshot snap = self->roundtrip_.Snapshot();
+  if (snap.count != 0) {
+    for (double q : {0.5, 0.9, 0.99}) {
+      os << "spin_remote_roundtrip_ns{host=\"";
+      obs::WriteLabelValue(os, self->host_.host_name());
+      os << "\",event=\"";
+      obs::WriteLabelValue(os, self->event_.name());
+      os << "\",quantile=\"" << q << "\"} " << snap.Percentile(q) << "\n";
+    }
+  }
+}
+
+}  // namespace remote
+}  // namespace spin

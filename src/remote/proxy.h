@@ -1,0 +1,123 @@
+// Event proxies: the client half of remote event dispatch.
+//
+// An EventProxy installs an ordinary (type-erased) binding on a local
+// event, so a plain local `Raise` transparently becomes a remote one: the
+// proxy marshals the argument slots per the event's TypeSig, ships them to
+// an Exporter on another host, and — for synchronous raises — blocks the
+// raiser until the reply carries back the result, the final VAR values, or
+// the remote exception.
+//
+// "Blocks" on a discrete-event simulator means the proxy pumps the
+// simulator from inside the raise: it schedules a sentinel no-op at the
+// attempt deadline and runs simulator events one at a time until either
+// the reply datagram is delivered or virtual time reaches the deadline.
+// Each timed-out attempt retransmits the SAME request id with a doubled
+// timeout (capped at max_backoff_ns) — the exporter's at-most-once window
+// guarantees the event body never runs twice even when an earlier attempt
+// was merely delayed, not lost. When the retry budget is exhausted the
+// raise throws RemoteError(kTimeout); it never hangs.
+//
+// Asynchronous proxies (RaiseKind::kAsync) are fire-and-forget: the
+// binding is installed async, so the marshal runs on the dispatcher's
+// thread pool, which enqueues the encoded datagram into an outbox. The
+// simulation thread hands outbox entries to the network with Flush() —
+// the simulator itself is single-threaded, so pool threads must not touch
+// it. Async proxies reject result-returning and VAR signatures at install
+// (§2.6's rule, extended across the wire).
+//
+// A reply of kUnbound or kNoSuchEvent marks the proxy dead: the remote
+// binding is gone and no retry will revive it, so every subsequent raise
+// fails fast with RemoteError(kDead) without generating traffic.
+#ifndef SRC_REMOTE_PROXY_H_
+#define SRC_REMOTE_PROXY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/core/dispatcher.h"
+#include "src/net/host.h"
+#include "src/obs/obs.h"
+#include "src/remote/marshal.h"
+#include "src/remote/wire_format.h"
+#include "src/sim/simulator.h"
+
+namespace spin {
+namespace remote {
+
+struct ProxyOptions {
+  uint32_t remote_ip = 0;                    // the exporter's host
+  uint16_t remote_port = kDefaultRemotePort;
+  uint16_t local_port = 7008;                // this proxy's reply socket
+  RaiseKind kind = RaiseKind::kSync;
+  uint32_t max_attempts = 5;                 // first send + retries
+  uint64_t timeout_ns = 2'000'000;           // first attempt's deadline
+  uint64_t max_backoff_ns = 32'000'000;      // timeout doubling cap
+};
+
+class EventProxy {
+ public:
+  // Installs the proxy binding. Throws RemoteError(kUnmarshalable) when
+  // the event's signature cannot cross the wire (or, for kAsync, returns
+  // a result / takes VAR parameters).
+  EventProxy(net::Host& host, sim::Simulator* sim, EventBase& event,
+             const ProxyOptions& opts);
+  ~EventProxy();
+  EventProxy(const EventProxy&) = delete;
+  EventProxy& operator=(const EventProxy&) = delete;
+
+  // Hands queued fire-and-forget datagrams to the network. Call from the
+  // simulation thread (typically after ThreadPool::Drain()); returns the
+  // number of datagrams transmitted.
+  size_t Flush();
+
+  bool dead() const { return dead_; }
+  uint64_t raises() const { return raises_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t dead_raises() const { return dead_raises_; }
+
+  // Distribution of sync roundtrips in virtual (simulated) nanoseconds.
+  const obs::Histogram& roundtrip_hist() const { return roundtrip_; }
+
+  const BindingHandle& binding() const { return binding_; }
+
+ private:
+  static uint64_t Invoke(void* fn, void* closure, uint64_t* slots);
+
+  uint64_t RaiseSync(uint64_t* slots);
+  void EnqueueAsync(const uint64_t* slots);
+  void OnDatagram(const net::Packet& packet);
+  static void ExportMetricsSource(void* ctx, std::ostream& os);
+
+  net::Host& host_;
+  sim::Simulator* sim_;
+  EventBase& event_;
+  ProxyOptions opts_;
+  MarshalPlan plan_;
+  Module module_;
+  std::unique_ptr<net::UdpSocket> socket_;
+  BindingHandle binding_;
+  const char* obs_name_;  // interned event name for trace records
+
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, ReplyMsg> inbox_;  // replies awaiting their raiser
+  bool dead_ = false;
+
+  std::mutex outbox_mu_;  // async marshals run on pool threads
+  std::deque<std::string> outbox_;
+
+  uint64_t raises_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t dead_raises_ = 0;
+  obs::Histogram roundtrip_;
+};
+
+}  // namespace remote
+}  // namespace spin
+
+#endif  // SRC_REMOTE_PROXY_H_

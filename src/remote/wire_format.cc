@@ -1,0 +1,209 @@
+#include "src/remote/wire_format.h"
+
+namespace spin {
+namespace remote {
+namespace {
+
+void Put8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void Put16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+}
+
+void Put64(std::string& out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>(v >> shift));
+  }
+}
+
+// Bounds-checked big-endian reader over the datagram payload.
+struct Reader {
+  const uint8_t* data;
+  size_t len;
+  size_t pos = 0;
+
+  bool Get8(uint8_t* v) {
+    if (pos + 1 > len) {
+      return false;
+    }
+    *v = data[pos++];
+    return true;
+  }
+  bool Get16(uint16_t* v) {
+    if (pos + 2 > len) {
+      return false;
+    }
+    *v = static_cast<uint16_t>((data[pos] << 8) | data[pos + 1]);
+    pos += 2;
+    return true;
+  }
+  bool Get64(uint64_t* v) {
+    if (pos + 8 > len) {
+      return false;
+    }
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r = (r << 8) | data[pos + i];
+    }
+    pos += 8;
+    *v = r;
+    return true;
+  }
+  bool GetBytes(size_t n, std::string* v) {
+    if (pos + n > len) {
+      return false;
+    }
+    v->assign(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return true;
+  }
+};
+
+void PutHeader(std::string& out, MsgType type) {
+  Put16(out, kWireMagic);
+  Put8(out, kWireVersion);
+  Put8(out, static_cast<uint8_t>(type));
+}
+
+bool GetHeader(Reader& r, MsgType expect) {
+  uint16_t magic;
+  uint8_t version;
+  uint8_t type;
+  if (!r.Get16(&magic) || !r.Get8(&version) || !r.Get8(&type)) {
+    return false;
+  }
+  return magic == kWireMagic && version == kWireVersion &&
+         type == static_cast<uint8_t>(expect);
+}
+
+}  // namespace
+
+std::string EncodeRequest(const RequestMsg& msg) {
+  std::string out;
+  out.reserve(19 + msg.event_name.size() + 9 * msg.params.size());
+  PutHeader(out, MsgType::kRequest);
+  Put8(out, static_cast<uint8_t>(msg.kind));
+  Put64(out, msg.request_id);
+  Put16(out, static_cast<uint16_t>(msg.event_name.size()));
+  out.append(msg.event_name);
+  Put8(out, static_cast<uint8_t>(msg.params.size()));
+  for (const WireParam& p : msg.params) {
+    Put8(out, static_cast<uint8_t>(p.cls | (p.by_ref ? 0x80 : 0)));
+  }
+  for (uint64_t v : msg.args) {
+    Put64(out, v);
+  }
+  return out;
+}
+
+std::string EncodeReply(const ReplyMsg& msg) {
+  std::string out;
+  out.reserve(24 + 8 * msg.byref.size() + msg.error.size());
+  PutHeader(out, MsgType::kReply);
+  Put8(out, static_cast<uint8_t>(msg.status));
+  Put64(out, msg.request_id);
+  Put64(out, msg.result);
+  Put8(out, static_cast<uint8_t>(msg.byref.size()));
+  for (uint64_t v : msg.byref) {
+    Put64(out, v);
+  }
+  Put16(out, static_cast<uint16_t>(msg.error.size()));
+  out.append(msg.error);
+  return out;
+}
+
+bool DecodeRequest(const std::string& wire, RequestMsg* out) {
+  Reader r{reinterpret_cast<const uint8_t*>(wire.data()), wire.size()};
+  if (!GetHeader(r, MsgType::kRequest)) {
+    return false;
+  }
+  uint8_t kind;
+  if (!r.Get8(&kind) || (kind != static_cast<uint8_t>(RaiseKind::kSync) &&
+                         kind != static_cast<uint8_t>(RaiseKind::kAsync))) {
+    return false;
+  }
+  out->kind = static_cast<RaiseKind>(kind);
+  uint16_t name_len;
+  if (!r.Get64(&out->request_id) || !r.Get16(&name_len) ||
+      !r.GetBytes(name_len, &out->event_name)) {
+    return false;
+  }
+  uint8_t argc;
+  if (!r.Get8(&argc)) {
+    return false;
+  }
+  out->params.clear();
+  out->args.clear();
+  out->params.reserve(argc);
+  out->args.reserve(argc);
+  for (int i = 0; i < argc; ++i) {
+    uint8_t tag;
+    if (!r.Get8(&tag)) {
+      return false;
+    }
+    out->params.push_back(
+        WireParam{static_cast<uint8_t>(tag & 0x7f), (tag & 0x80) != 0});
+  }
+  for (int i = 0; i < argc; ++i) {
+    uint64_t v;
+    if (!r.Get64(&v)) {
+      return false;
+    }
+    out->args.push_back(v);
+  }
+  return r.pos == r.len;
+}
+
+bool DecodeReply(const std::string& wire, ReplyMsg* out) {
+  Reader r{reinterpret_cast<const uint8_t*>(wire.data()), wire.size()};
+  if (!GetHeader(r, MsgType::kReply)) {
+    return false;
+  }
+  uint8_t status;
+  if (!r.Get8(&status) || status > static_cast<uint8_t>(WireStatus::kBadRequest)) {
+    return false;
+  }
+  out->status = static_cast<WireStatus>(status);
+  uint8_t nbyref;
+  if (!r.Get64(&out->request_id) || !r.Get64(&out->result) ||
+      !r.Get8(&nbyref)) {
+    return false;
+  }
+  out->byref.clear();
+  out->byref.reserve(nbyref);
+  for (int i = 0; i < nbyref; ++i) {
+    uint64_t v;
+    if (!r.Get64(&v)) {
+      return false;
+    }
+    out->byref.push_back(v);
+  }
+  uint16_t errlen;
+  if (!r.Get16(&errlen) || !r.GetBytes(errlen, &out->error)) {
+    return false;
+  }
+  return r.pos == r.len;
+}
+
+bool PeekType(const std::string& wire, MsgType* out) {
+  if (wire.size() < 4) {
+    return false;
+  }
+  const uint8_t* d = reinterpret_cast<const uint8_t*>(wire.data());
+  uint16_t magic = static_cast<uint16_t>((d[0] << 8) | d[1]);
+  if (magic != kWireMagic || d[2] != kWireVersion) {
+    return false;
+  }
+  if (d[3] != static_cast<uint8_t>(MsgType::kRequest) &&
+      d[3] != static_cast<uint8_t>(MsgType::kReply)) {
+    return false;
+  }
+  *out = static_cast<MsgType>(d[3]);
+  return true;
+}
+
+}  // namespace remote
+}  // namespace spin

@@ -1,0 +1,91 @@
+// Wire messages for remote event dispatch.
+//
+// A remote raise travels as a single UDP datagram over the simulated
+// network. The format is deliberately small and self-describing: the
+// request carries the event name and the marshal tags of every argument so
+// the exporter can validate the caller's view of the signature against its
+// own before touching the dispatcher.
+//
+// All integers are big-endian, matching the rest of the packet code.
+//
+//   header:  magic(2)=0x5350 "SP"  version(1)=1  type(1)
+//   request: kind(1)  request_id(8)  name_len(2)  name  argc(1)
+//            argc x tag(1)   [tag = TypeClass | by_ref << 7]
+//            argc x value(8) [by-value: the 64-bit argument slot;
+//                             by-ref: the pointee scalar widened to 64 bits]
+//   reply:   status(1)  request_id(8)  result(8)  nbyref(1)
+//            nbyref x value(8)  [copy-out values of VAR params, in order]
+//            errlen(2)  error
+#ifndef SRC_REMOTE_WIRE_FORMAT_H_
+#define SRC_REMOTE_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spin {
+namespace remote {
+
+inline constexpr uint16_t kWireMagic = 0x5350;  // "SP"
+inline constexpr uint8_t kWireVersion = 1;
+
+// Default UDP port an Exporter listens on.
+inline constexpr uint16_t kDefaultRemotePort = 7007;
+
+enum class MsgType : uint8_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+enum class RaiseKind : uint8_t {
+  kSync = 1,   // the raiser blocks for the reply
+  kAsync = 2,  // fire-and-forget; the exporter never replies
+};
+
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kException = 1,    // the remote dispatch threw; error carries what()
+  kUnbound = 2,      // the event was exported once but has been withdrawn
+  kNoSuchEvent = 3,  // the exporter never heard of this event
+  kBadRequest = 4,   // malformed message or signature mismatch
+};
+
+struct WireParam {
+  uint8_t cls = 0;      // TypeClass of the wire value
+  bool by_ref = false;  // VAR parameter: value copies in and out
+
+  friend bool operator==(const WireParam&, const WireParam&) = default;
+};
+
+struct RequestMsg {
+  RaiseKind kind = RaiseKind::kSync;
+  uint64_t request_id = 0;
+  std::string event_name;
+  std::vector<WireParam> params;
+  std::vector<uint64_t> args;  // one wire value per param
+};
+
+struct ReplyMsg {
+  WireStatus status = WireStatus::kOk;
+  uint64_t request_id = 0;
+  uint64_t result = 0;
+  std::vector<uint64_t> byref;  // copy-out values, VAR params in order
+  std::string error;
+};
+
+std::string EncodeRequest(const RequestMsg& msg);
+std::string EncodeReply(const ReplyMsg& msg);
+
+// Decoders return false on anything malformed (bad magic/version/lengths);
+// the caller drops the datagram, it never reaches the dispatcher.
+bool DecodeRequest(const std::string& wire, RequestMsg* out);
+bool DecodeReply(const std::string& wire, ReplyMsg* out);
+
+// Classifies a datagram without decoding the body; false when it is not a
+// remote-dispatch message at all.
+bool PeekType(const std::string& wire, MsgType* out);
+
+}  // namespace remote
+}  // namespace spin
+
+#endif  // SRC_REMOTE_WIRE_FORMAT_H_

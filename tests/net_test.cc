@@ -1,8 +1,13 @@
 // Network substrate tests: the guard-demultiplexed protocol stack of §3.2.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
 #include "src/net/host.h"
 #include "src/net/tcp.h"
+#include "src/obs/export.h"
 #include "src/sim/simulator.h"
 
 namespace spin {
@@ -235,6 +240,125 @@ TEST_F(NetTest, TcpRetransmitsThroughLoss) {
   EXPECT_EQ(received.size(), page.size())
       << "go-back-N must deliver the full stream despite loss";
   EXPECT_EQ(received, page);
+  EXPECT_GT(client.retransmissions(), 0u);
+  EXPECT_GT(wire_.frames_lost(), 0u);
+}
+
+TEST_F(NetTest, UdpChecksumStampedAndVerified) {
+  Packet p = MakeUdpPacket(0x0a000001, 0x0a000002, 1, 2, "payload");
+  EXPECT_TRUE(VerifyUdpChecksum(p));
+  // Payload corruption the IP header checksum cannot see.
+  p.data[kUdpPayloadOff] ^= 0xff;
+  EXPECT_FALSE(VerifyUdpChecksum(p));
+  StampUdpChecksum(p);
+  EXPECT_TRUE(VerifyUdpChecksum(p));
+  // A zero checksum field means "no checksum supplied" (RFC 768).
+  p.Put16(kUdpChecksumOff, 0);
+  EXPECT_TRUE(VerifyUdpChecksum(p));
+}
+
+TEST_F(NetTest, CorruptedPayloadDroppedByUdpInput) {
+  int hits = 0;
+  UdpSocket receiver(b_, 2222, [&](const Packet&) { ++hits; });
+  Packet p = MakeUdpPacket(a_.ip(), b_.ip(), 1111, 2222, "payload");
+  p.data[p.len - 1] ^= 0xff;  // flip a payload byte; IP header still valid
+  b_.Receive(p);
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(b_.udp_checksum_drops(), 1u);
+  EXPECT_EQ(b_.checksum_drops(), 0u);  // the IP layer saw nothing wrong
+  b_.Receive(MakeUdpPacket(a_.ip(), b_.ip(), 1111, 2222, "payload"));
+  EXPECT_EQ(hits, 1);
+
+  // The drop is visible as a metric, not just a counter.
+  std::ostringstream os;
+  obs::ExportMetrics(os);
+  EXPECT_NE(os.str().find("spin_net_udp_checksum_drops_total{host=\"hostB\""
+                          "} 1"),
+            std::string::npos);
+}
+
+TEST_F(NetTest, SeededRandomLossIsDeterministic) {
+  auto run = [this](uint64_t seed) {
+    sim::Simulator sim;
+    Wire wire(&sim, sim::LinkModel{});
+    Host a("lossA", 0x0a000011, &dispatcher_);
+    Host b("lossB", 0x0a000012, &dispatcher_);
+    wire.Attach(a, b);
+    wire.SetRandomLoss(0.3, seed);
+    UdpSocket receiver(b, 2222, nullptr);
+    UdpSocket sender(a, 1111, nullptr);
+    // Per-frame delivery pattern, not just the totals.
+    std::vector<bool> delivered;
+    uint64_t seen = 0;
+    for (int i = 0; i < 64; ++i) {
+      sender.SendTo(b.ip(), 2222, "x");
+      sim.Run();
+      delivered.push_back(b.rx_packets() > seen);
+      seen = b.rx_packets();
+    }
+    return delivered;
+  };
+  std::vector<bool> first = run(42);
+  EXPECT_EQ(first, run(42)) << "same seed must replay the same drops";
+  EXPECT_NE(first, run(43));
+  size_t drops = std::count(first.begin(), first.end(), false);
+  EXPECT_GT(drops, 0u);
+  EXPECT_LT(drops, 64u);
+}
+
+TEST_F(NetTest, PartitionWindowDropsEverything) {
+  UdpSocket receiver(b_, 2222, nullptr);
+  UdpSocket sender(a_, 1111, nullptr);
+  sender.SendTo(b_.ip(), 2222, "before");
+  sim_.Run();
+  EXPECT_EQ(b_.rx_packets(), 1u);
+
+  wire_.SetPartition(sim_.now_ns(), sim_.now_ns() + 1'000'000);
+  sender.SendTo(b_.ip(), 2222, "during");
+  sim_.Run();
+  EXPECT_EQ(b_.rx_packets(), 1u);
+  EXPECT_EQ(wire_.frames_lost(), 1u);
+
+  wire_.SetPartition(0, 0);  // heal
+  sender.SendTo(b_.ip(), 2222, "after");
+  sim_.Run();
+  EXPECT_EQ(b_.rx_packets(), 2u);
+}
+
+TEST_F(NetTest, DropHookSelectsFrames) {
+  std::string got;
+  UdpSocket receiver(b_, 2222, [&](const Packet& p) {
+    got += p.UdpPayload();
+  });
+  UdpSocket sender(a_, 1111, nullptr);
+  wire_.SetDropHook([](const Packet& p, uint64_t, uint64_t) {
+    return p.ip_proto() == kIpProtoUdp && p.UdpPayload() == "drop";
+  });
+  sender.SendTo(b_.ip(), 2222, "keep1");
+  sender.SendTo(b_.ip(), 2222, "drop");
+  sender.SendTo(b_.ip(), 2222, "keep2");
+  sim_.Run();
+  EXPECT_EQ(got, "keep1keep2");
+  EXPECT_EQ(wire_.frames_lost(), 1u);
+}
+
+TEST_F(NetTest, TcpRetransmitsThroughSeededRandomLoss) {
+  std::string received;
+  TcpEndpoint server(b_, 80);
+  server.Listen([&](const std::string& data) { received += data; });
+  TcpEndpoint client(a_, 5555);
+  client.Connect(b_.ip(), 80, nullptr);
+  sim_.Run();
+  ASSERT_TRUE(client.established());
+
+  client.EnableRetransmit(&sim_, /*timeout_ns=*/50'000'000);
+  wire_.SetRandomLoss(0.05, /*seed=*/99);
+  std::string page(64 * 1024, 'S');
+  client.Send(page);
+  sim_.Run();
+
+  EXPECT_EQ(received, page)
+      << "go-back-N must deliver the stream through random loss";
   EXPECT_GT(client.retransmissions(), 0u);
   EXPECT_GT(wire_.frames_lost(), 0u);
 }

@@ -1,0 +1,485 @@
+// Remote event dispatch tests: proxies, the exporter, marshaling, and the
+// failure model (retries, at-most-once, timeouts, dead proxies).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include "src/net/host.h"
+#include "src/obs/export.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
+#include "src/remote/exporter.h"
+#include "src/remote/proxy.h"
+#include "src/sim/simulator.h"
+
+namespace spin {
+namespace remote {
+namespace {
+
+class RemoteTest : public ::testing::Test {
+ protected:
+  RemoteTest() { wire_.Attach(client_host_, server_host_); }
+
+  ProxyOptions Opts(uint16_t local_port) {
+    ProxyOptions opts;
+    opts.remote_ip = server_host_.ip();
+    opts.local_port = local_port;
+    return opts;
+  }
+
+  Dispatcher dispatcher_;
+  sim::Simulator sim_;
+  net::Wire wire_{&sim_, sim::LinkModel{}};
+  net::Host client_host_{"client", 0x0a000001, &dispatcher_};
+  net::Host server_host_{"server", 0x0a000002, &dispatcher_};
+  Exporter exporter_{server_host_};
+};
+
+// --- Marshaling --------------------------------------------------------------
+
+TEST(RemoteWireFormat, RequestRoundTrip) {
+  RequestMsg msg;
+  msg.kind = RaiseKind::kSync;
+  msg.request_id = 0x0123456789abcdefull;
+  msg.event_name = "Fs.Read";
+  msg.params = {WireParam{static_cast<uint8_t>(TypeClass::kInt32), false},
+                WireParam{static_cast<uint8_t>(TypeClass::kUInt64), true}};
+  msg.args = {static_cast<uint64_t>(-7), 0xdeadbeefcafef00dull};
+
+  RequestMsg decoded;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(msg), &decoded));
+  EXPECT_EQ(decoded.kind, msg.kind);
+  EXPECT_EQ(decoded.request_id, msg.request_id);
+  EXPECT_EQ(decoded.event_name, msg.event_name);
+  EXPECT_EQ(decoded.params, msg.params);
+  EXPECT_EQ(decoded.args, msg.args);
+}
+
+TEST(RemoteWireFormat, ReplyRoundTrip) {
+  ReplyMsg msg;
+  msg.status = WireStatus::kException;
+  msg.request_id = 42;
+  msg.result = 99;
+  msg.byref = {1, 2, 3};
+  msg.error = "handler threw";
+
+  ReplyMsg decoded;
+  ASSERT_TRUE(DecodeReply(EncodeReply(msg), &decoded));
+  EXPECT_EQ(decoded.status, msg.status);
+  EXPECT_EQ(decoded.request_id, msg.request_id);
+  EXPECT_EQ(decoded.result, msg.result);
+  EXPECT_EQ(decoded.byref, msg.byref);
+  EXPECT_EQ(decoded.error, msg.error);
+}
+
+TEST(RemoteWireFormat, MalformedDatagramsRejected) {
+  RequestMsg req;
+  req.event_name = "X";
+  std::string wire = EncodeRequest(req);
+  RequestMsg out;
+  EXPECT_TRUE(DecodeRequest(wire, &out));
+  // Truncations at every length are rejected, never mis-read.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(DecodeRequest(wire.substr(0, cut), &out));
+  }
+  // Trailing garbage is rejected too.
+  EXPECT_FALSE(DecodeRequest(wire + "z", &out));
+  std::string bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeRequest(bad_magic, &out));
+  ReplyMsg reply_out;
+  EXPECT_FALSE(DecodeReply(wire, &reply_out));  // wrong message type
+}
+
+static int64_t MixHandler(int32_t a, uint32_t b, int64_t c, uint64_t d,
+                          bool e, double f) {
+  return static_cast<int64_t>(a) + b + c + static_cast<int64_t>(d & 0xff) +
+         (e ? 1000 : 0) + static_cast<int64_t>(f);
+}
+
+TEST_F(RemoteTest, SyncRaiseCarriesAllScalarShapes) {
+  Event<int64_t(int32_t, uint32_t, int64_t, uint64_t, bool, double)>
+      server_ev("Math.Mix", nullptr, nullptr, &dispatcher_);
+  dispatcher_.InstallHandler(server_ev, &MixHandler);
+  exporter_.Export(server_ev);
+
+  Event<int64_t(int32_t, uint32_t, int64_t, uint64_t, bool, double)>
+      client_ev("Math.Mix", nullptr, nullptr, &dispatcher_);
+  EventProxy proxy(client_host_, &sim_, client_ev, Opts(9001));
+
+  int64_t got = client_ev.Raise(-5, 7u, -1'000'000'000'000ll,
+                                0xffffffffffffff42ull, true, 2.5);
+  EXPECT_EQ(got, MixHandler(-5, 7u, -1'000'000'000'000ll,
+                            0xffffffffffffff42ull, true, 2.5));
+  EXPECT_EQ(proxy.retries(), 0u);
+  EXPECT_GT(proxy.roundtrip_hist().Count(), 0u);
+}
+
+static void DoubleVarHandler(uint64_t& v) { v = v * 2 + 1; }
+static bool ScaleVarHandler(int32_t n, double& x) {
+  x *= n;
+  return x > 10.0;
+}
+
+TEST_F(RemoteTest, VarParametersCopyInAndOut) {
+  Event<void(uint64_t&)> server_ev("Var.Bump", nullptr, nullptr,
+                                   &dispatcher_);
+  dispatcher_.InstallHandler(server_ev, &DoubleVarHandler);
+  exporter_.Export(server_ev);
+
+  Event<void(uint64_t&)> client_ev("Var.Bump", nullptr, nullptr,
+                                   &dispatcher_);
+  EventProxy proxy(client_host_, &sim_, client_ev, Opts(9002));
+
+  uint64_t v = 20;
+  client_ev.Raise(v);
+  EXPECT_EQ(v, 41u);  // mutated on the server, copied back out
+
+  Event<bool(int32_t, double&)> server_scale("Var.Scale", nullptr, nullptr,
+                                             &dispatcher_);
+  dispatcher_.InstallHandler(server_scale, &ScaleVarHandler);
+  exporter_.Export(server_scale);
+  Event<bool(int32_t, double&)> client_scale("Var.Scale", nullptr, nullptr,
+                                             &dispatcher_);
+  EventProxy scale_proxy(client_host_, &sim_, client_scale, Opts(9003));
+
+  double x = 3.25;
+  EXPECT_TRUE(client_scale.Raise(4, x));
+  EXPECT_DOUBLE_EQ(x, 13.0);
+}
+
+TEST_F(RemoteTest, UnmarshalableSignaturesRejectedAtInstall) {
+  // Pointer parameter: no address space crosses the wire.
+  Event<bool(net::Packet*)> ptr_ev("Bad.Pointer", nullptr, nullptr,
+                                   &dispatcher_);
+  EXPECT_THROW(
+      { EventProxy p(client_host_, &sim_, ptr_ev, Opts(9004)); },
+      RemoteError);
+  EXPECT_THROW(exporter_.Export(ptr_ev), RemoteError);
+
+  // VAR parameter whose pointee is not a wire scalar.
+  Event<void(net::Packet&)> ref_ev("Bad.Ref", nullptr, nullptr,
+                                   &dispatcher_);
+  try {
+    EventProxy p(client_host_, &sim_, ref_ev, Opts(9004));
+    FAIL() << "struct VAR parameter must not marshal";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.status(), RemoteStatus::kUnmarshalable);
+  }
+
+  // Fire-and-forget cannot return results or take VAR parameters.
+  Event<int32_t(int32_t)> result_ev("Bad.AsyncResult", nullptr, nullptr,
+                                    &dispatcher_);
+  ProxyOptions async_opts = Opts(9004);
+  async_opts.kind = RaiseKind::kAsync;
+  EXPECT_THROW(
+      { EventProxy p(client_host_, &sim_, result_ev, async_opts); },
+      RemoteError);
+  Event<void(uint64_t&)> var_ev("Bad.AsyncVar", nullptr, nullptr,
+                                &dispatcher_);
+  EXPECT_THROW(
+      { EventProxy p(client_host_, &sim_, var_ev, async_opts); },
+      RemoteError);
+
+  // A rejected install leaves no binding behind.
+  EXPECT_EQ(ptr_ev.handler_count(), 0u);
+  EXPECT_EQ(ref_ev.handler_count(), 0u);
+}
+
+// --- Failure model -----------------------------------------------------------
+
+struct ThrowCtx {
+  int calls = 0;
+};
+static int32_t ThrowingHandler(ThrowCtx* ctx, int32_t v) {
+  ++ctx->calls;
+  if (v < 0) {
+    throw std::runtime_error("negative input");
+  }
+  return v * 2;
+}
+
+TEST_F(RemoteTest, RemoteExceptionsPropagateToTheRaiser) {
+  Event<int32_t(int32_t)> server_ev("Throwing.Op", nullptr, nullptr,
+                                    &dispatcher_);
+  ThrowCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &ThrowingHandler, &ctx,
+                             {.may_throw = true});
+  exporter_.Export(server_ev);
+  Event<int32_t(int32_t)> client_ev("Throwing.Op", nullptr, nullptr,
+                                    &dispatcher_);
+  EventProxy proxy(client_host_, &sim_, client_ev, Opts(9005));
+
+  EXPECT_EQ(client_ev.Raise(21), 42);
+  try {
+    client_ev.Raise(-1);
+    FAIL() << "remote exception must propagate";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.status(), RemoteStatus::kRemoteException);
+    EXPECT_NE(std::string(e.what()).find("negative input"),
+              std::string::npos);
+  }
+  EXPECT_EQ(ctx.calls, 2);
+  EXPECT_EQ(exporter_.exceptions(), 1u);
+}
+
+struct CountCtx {
+  int calls = 0;
+};
+static uint64_t CountingHandler(CountCtx* ctx, uint64_t v) {
+  ++ctx->calls;
+  return v + 1;
+}
+
+TEST_F(RemoteTest, AtMostOnceUnderDuplicatedDelivery) {
+  Event<uint64_t(uint64_t)> server_ev("Once.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  CountCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &CountingHandler, &ctx);
+  exporter_.Export(server_ev);
+  Event<uint64_t(uint64_t)> client_ev("Once.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  EventProxy proxy(client_host_, &sim_, client_ev, Opts(9006));
+
+  // Drop the first two replies (frames whose UDP source port is the
+  // exporter's). The request arrives each time; only retransmissions of it
+  // are duplicates, and the cached reply must serve them.
+  int replies_seen = 0;
+  wire_.SetDropHook([&](const net::Packet& p, uint64_t, uint64_t) {
+    if (p.ip_proto() == net::kIpProtoUdp &&
+        p.src_port() == kDefaultRemotePort) {
+      return ++replies_seen <= 2;
+    }
+    return false;
+  });
+
+  EXPECT_EQ(client_ev.Raise(10), 11u);
+  EXPECT_EQ(ctx.calls, 1) << "at-most-once: the handler ran exactly once";
+  EXPECT_EQ(proxy.retries(), 2u);
+  EXPECT_EQ(exporter_.dedup_hits(), 2u);
+  EXPECT_EQ(exporter_.requests(), 3u);
+}
+
+TEST_F(RemoteTest, RetriesRecoverFromSeededRandomLoss) {
+  Event<uint64_t(uint64_t)> server_ev("Lossy.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  CountCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &CountingHandler, &ctx);
+  exporter_.Export(server_ev);
+  Event<uint64_t(uint64_t)> client_ev("Lossy.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  ProxyOptions opts = Opts(9007);
+  opts.max_attempts = 10;
+  EventProxy proxy(client_host_, &sim_, client_ev, opts);
+
+  wire_.SetRandomLoss(0.3, /*seed=*/1234);
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(client_ev.Raise(i), i + 1);
+  }
+  EXPECT_GT(proxy.retries(), 0u) << "30% loss must force retransmissions";
+  EXPECT_GT(wire_.frames_lost(), 0u);
+  EXPECT_EQ(proxy.timeouts(), 0u);
+}
+
+TEST_F(RemoteTest, TimeoutThrowsTypedErrorInsteadOfHanging) {
+  Event<uint64_t(uint64_t)> server_ev("Gone.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  CountCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &CountingHandler, &ctx);
+  exporter_.Export(server_ev);
+  Event<uint64_t(uint64_t)> client_ev("Gone.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  ProxyOptions opts = Opts(9008);
+  opts.max_attempts = 3;
+  opts.timeout_ns = 1'000'000;
+  EventProxy proxy(client_host_, &sim_, client_ev, opts);
+
+  wire_.SetPartition(0, ~0ull);  // nothing crosses, ever
+  uint64_t before_ns = sim_.now_ns();
+  try {
+    client_ev.Raise(1);
+    FAIL() << "a partitioned raise must time out";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.status(), RemoteStatus::kTimeout);
+  }
+  // Backoff doubled per attempt: 1ms + 2ms + 4ms of virtual time.
+  EXPECT_GE(sim_.now_ns() - before_ns, 7'000'000u);
+  EXPECT_EQ(proxy.timeouts(), 1u);
+  EXPECT_EQ(ctx.calls, 0);
+
+  // The partition heals; the same proxy serves again.
+  wire_.SetPartition(0, 0);
+  EXPECT_EQ(client_ev.Raise(5), 6u);
+}
+
+TEST_F(RemoteTest, DeadProxyFailsFastAfterRemoteUninstall) {
+  Event<uint64_t(uint64_t)> server_ev("Mortal.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  CountCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &CountingHandler, &ctx);
+  exporter_.Export(server_ev);
+  Event<uint64_t(uint64_t)> client_ev("Mortal.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  EventProxy proxy(client_host_, &sim_, client_ev, Opts(9009));
+
+  EXPECT_EQ(client_ev.Raise(1), 2u);
+  exporter_.Unexport(server_ev);
+
+  // The first raise after the uninstall learns the binding is gone from
+  // the kUnbound reply — a typed error, not a hang or a retry storm.
+  try {
+    client_ev.Raise(2);
+    FAIL() << "raising through a dead proxy must throw";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.status(), RemoteStatus::kDead);
+  }
+  EXPECT_TRUE(proxy.dead());
+  EXPECT_EQ(proxy.retries(), 0u);
+
+  // Subsequent raises fail fast without generating traffic.
+  uint64_t frames_before = wire_.frames_offered();
+  EXPECT_THROW(client_ev.Raise(3), RemoteError);
+  EXPECT_EQ(wire_.frames_offered(), frames_before);
+  EXPECT_EQ(proxy.dead_raises(), 1u);
+  EXPECT_EQ(ctx.calls, 1);
+}
+
+// --- Asynchronous raises -----------------------------------------------------
+
+struct SumCtx {
+  std::atomic<uint64_t> sum{0};
+  std::atomic<int> calls{0};
+};
+static void SumHandler(SumCtx* ctx, uint64_t v) {
+  ctx->sum += v;
+  ++ctx->calls;
+}
+
+TEST_F(RemoteTest, AsyncRaisesAreFireAndForget) {
+  Event<void(uint64_t)> server_ev("Async.Op", nullptr, nullptr,
+                                  &dispatcher_);
+  SumCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &SumHandler, &ctx);
+  exporter_.Export(server_ev);
+  Event<void(uint64_t)> client_ev("Async.Op", nullptr, nullptr,
+                                  &dispatcher_);
+  ProxyOptions opts = Opts(9010);
+  opts.kind = RaiseKind::kAsync;
+  EventProxy proxy(client_host_, &sim_, client_ev, opts);
+
+  for (uint64_t i = 1; i <= 10; ++i) {
+    client_ev.Raise(i);  // marshal runs detached on the pool
+  }
+  dispatcher_.pool().Drain();
+  EXPECT_EQ(proxy.Flush(), 10u);
+  sim_.Run();
+
+  EXPECT_EQ(ctx.calls.load(), 10);
+  EXPECT_EQ(ctx.sum.load(), 55u);
+  EXPECT_EQ(exporter_.requests(), 10u);
+  // Fire-and-forget: the exporter never replied.
+  EXPECT_EQ(client_host_.rx_packets(), 0u);
+}
+
+// --- Determinism and observability -------------------------------------------
+
+TEST(RemoteDeterminism, SeededLossReplaysExactly) {
+  auto run = [](uint64_t seed) {
+    Dispatcher dispatcher;
+    sim::Simulator sim;
+    net::Wire wire(&sim, sim::LinkModel{});
+    net::Host client("client", 0x0a000001, &dispatcher);
+    net::Host server("server", 0x0a000002, &dispatcher);
+    wire.Attach(client, server);
+    Exporter exporter(server);
+
+    Event<uint64_t(uint64_t)> server_ev("Det.Op", nullptr, nullptr,
+                                        &dispatcher);
+    auto ctx = std::make_unique<CountCtx>();
+    dispatcher.InstallHandler(server_ev, &CountingHandler, ctx.get());
+    exporter.Export(server_ev);
+    Event<uint64_t(uint64_t)> client_ev("Det.Op", nullptr, nullptr,
+                                        &dispatcher);
+    ProxyOptions opts;
+    opts.remote_ip = server.ip();
+    opts.local_port = 9011;
+    opts.max_attempts = 10;
+    EventProxy proxy(client, &sim, client_ev, opts);
+
+    wire.SetRandomLoss(0.3, seed);
+    uint64_t ok = 0;
+    uint64_t timed_out = 0;
+    for (uint64_t i = 0; i < 10; ++i) {
+      try {
+        client_ev.Raise(i);
+        ++ok;
+      } catch (const RemoteError&) {
+        ++timed_out;  // a deterministic outcome too: it must replay
+      }
+    }
+    return std::tuple{ok, timed_out, proxy.retries(), wire.frames_lost(),
+                      sim.now_ns()};
+  };
+  EXPECT_EQ(run(7), run(7)) << "same seed, same schedule, same outcome";
+  EXPECT_NE(run(7), run(8)) << "the seed must actually steer the pattern";
+}
+
+TEST_F(RemoteTest, FlightRecorderAndMetricsObserveTheRetryPath) {
+  Event<uint64_t(uint64_t)> server_ev("Traced.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  CountCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &CountingHandler, &ctx);
+  exporter_.Export(server_ev);
+  Event<uint64_t(uint64_t)> client_ev("Traced.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  EventProxy proxy(client_host_, &sim_, client_ev, Opts(9012));
+
+  int replies_seen = 0;
+  wire_.SetDropHook([&](const net::Packet& p, uint64_t, uint64_t) {
+    return p.ip_proto() == net::kIpProtoUdp &&
+           p.src_port() == kDefaultRemotePort && ++replies_seen <= 1;
+  });
+
+  obs::EnableScope scope;
+  obs::FlightRecorder::Global().Reset();
+  EXPECT_EQ(client_ev.Raise(10), 11u);
+
+  bool saw_marshal = false, saw_send = false, saw_retry = false,
+       saw_reply = false, saw_dedup = false;
+  for (const obs::MergedRecord& m : obs::FlightRecorder::Global().Snapshot()) {
+    switch (m.rec.kind) {
+      case obs::TraceKind::kRemoteMarshal: saw_marshal = true; break;
+      case obs::TraceKind::kRemoteSend: saw_send = true; break;
+      case obs::TraceKind::kRemoteRetry: saw_retry = true; break;
+      case obs::TraceKind::kRemoteReply: saw_reply = true; break;
+      case obs::TraceKind::kRemoteDedup: saw_dedup = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(saw_marshal);
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_reply);
+  EXPECT_TRUE(saw_dedup);
+
+  std::ostringstream os;
+  obs::ExportMetrics(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("spin_remote_client_retries_total{host=\"client\","
+                      "event=\"Traced.Op\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spin_remote_server_dedup_hits_total{host=\"server\"}"
+                      " 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("spin_remote_roundtrip_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remote
+}  // namespace spin
