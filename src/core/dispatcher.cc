@@ -258,6 +258,13 @@ bool Dispatcher::AuthorizeLocked(AuthRequest& request) {
   return event.authorizer_(request, event.authorizer_ctx_);
 }
 
+bool Dispatcher::Authorize(AuthRequest& request) {
+  SPIN_ASSERT_MSG(request.event != nullptr,
+                  "Authorize requires a target event");
+  std::lock_guard<std::mutex> lock(mu_);
+  return AuthorizeLocked(request);
+}
+
 void Dispatcher::CheckIsAuthorityOrAuthorized(EventBase& event, AuthOp op,
                                               const Module* requestor,
                                               void* credentials) {
@@ -427,6 +434,24 @@ void Dispatcher::AddMicroGuard(const BindingHandle& binding,
   clause.prog = std::move(prog);
   std::vector<GuardClause> guards = binding->CopyGuards();
   guards.push_back(std::move(clause));
+  ReplaceBindingGuardsLocked(binding, std::move(guards));
+}
+
+void Dispatcher::ImposeMicroGuard(const BindingHandle& binding,
+                                  micro::Program prog) {
+  if (!prog.functional()) {
+    throw InstallError(TypecheckStatus::kGuardNotFunctional,
+                       binding->event->name());
+  }
+  if (prog.Validate() != micro::ValidateStatus::kOk) {
+    throw InstallError(InstallStatus::kInvalidMicroProgram,
+                       binding->event->name());
+  }
+  GuardClause clause;
+  clause.prog = std::move(prog);
+  clause.imposed = true;
+  std::vector<GuardClause> guards = binding->CopyGuards();
+  guards.insert(guards.begin(), std::move(clause));
   ReplaceBindingGuardsLocked(binding, std::move(guards));
 }
 

@@ -157,6 +157,13 @@ class Dispatcher {
 
   void AddMicroGuard(const BindingHandle& binding, micro::Program prog);
 
+  // Authority-imposed micro-program guard — the wire-transportable form of
+  // ImposeGuard. Remote proxies install the guards an exporter-side
+  // authorizer imposed on their bind through this entry; like every §2.5
+  // imposition, the clause is marked imposed and evaluates before the
+  // installer's own guards.
+  void ImposeMicroGuard(const BindingHandle& binding, micro::Program prog);
+
   // Removes one guard by position (§2.5: imposed guards "can be added and
   // removed dynamically"). Removing an imposed guard consults the event's
   // authorizer (op kImposeGuard).
@@ -208,6 +215,14 @@ class Dispatcher {
   // must be the module that defines the event's intrinsic handler.
   void InstallAuthorizer(EventBase& event, AuthorizerFn authorizer,
                          void* ctx, const Module& proof);
+
+  // Runs `request` through the event's authorizer exactly as the local
+  // install path does (same lock, same callback, same ImposeGuard rules).
+  // Infrastructure that mediates bindings it does not hand to Install —
+  // the remote exporter authorizing a bind from another host — consults
+  // the §2.5 machinery through this entry instead of forking it. Returns
+  // false on denial; events without an authorizer are open.
+  bool Authorize(AuthRequest& request);
 
   // --- Event-level properties -------------------------------------------
 
@@ -635,6 +650,17 @@ GuardClause MakeImposedGuard(bool (*guard)(C*, A...), C* closure) {
   clause.closure_form = true;
   clause.imposed = true;
   clause.invoker = &GuardInvokeClosure<bool(C*, A...)>::Call;
+  return clause;
+}
+
+// Builds a micro-program imposed-guard clause for use from an authorizer
+// callback. This is the only imposed-guard shape that can cross the wire
+// to a remote binder (see src/remote): the program must be FUNCTIONAL and
+// address-free, with num_args equal to the event's parameter count.
+inline GuardClause MakeImposedMicroGuard(micro::Program prog) {
+  GuardClause clause;
+  clause.prog = std::move(prog);
+  clause.imposed = true;
   return clause;
 }
 

@@ -38,6 +38,10 @@ const char* RemoteStatusName(RemoteStatus status) {
       return "remote handler threw";
     case RemoteStatus::kProtocol:
       return "remote dispatch protocol error";
+    case RemoteStatus::kDenied:
+      return "remote install denied by authorizer";
+    case RemoteStatus::kRevoked:
+      return "remote binding capability revoked";
   }
   return "<bad>";
 }

@@ -91,6 +91,8 @@ enum class RemoteStatus : uint8_t {
   kDead,              // remote binding uninstalled / event unknown
   kRemoteException,   // the remote handler threw; message carried back
   kProtocol,          // malformed or mismatched wire traffic
+  kDenied,            // the exporter's authorizer refused the remote install
+  kRevoked,           // the capability token backing the binding was revoked
 };
 
 const char* RemoteStatusName(RemoteStatus status);

@@ -109,6 +109,15 @@ class Host {
   const Module& module() const { return module_; }
   Module& module() { return module_; }
 
+  // Credential this host presents when binding to remote events (§2.5
+  // across the wire). The blob is opaque here: remote proxies carry it in
+  // their BindRequest unless ProxyOptions overrides it per proxy, and only
+  // the exporter-side authorizer interprets it.
+  void SetCredential(std::string credential) {
+    credential_ = std::move(credential);
+  }
+  const std::string& credential() const { return credential_; }
+
   // The packet events (result: "did any handler consume the packet").
   Event<bool(Packet*)> EtherPacketArrived;
   Event<bool(Packet*)> IpPacketArrived;
@@ -154,6 +163,7 @@ class Host {
   uint32_t ip_;
   Dispatcher* dispatcher_;
   Module module_;
+  std::string credential_;
   Wire* wire_ = nullptr;
   BindingHandle transmit_binding_;
   uint64_t rx_ = 0;

@@ -92,6 +92,10 @@ const char* TraceKindName(TraceKind kind) {
       return "remote_timeout";
     case TraceKind::kRemoteDedup:
       return "remote_dedup";
+    case TraceKind::kRemoteBind:
+      return "remote_bind";
+    case TraceKind::kRemoteRevoke:
+      return "remote_revoke";
   }
   return "unknown";
 }

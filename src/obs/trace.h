@@ -46,6 +46,10 @@ enum class TraceKind : uint8_t {
   kRemoteReply,    // reply matched to a pending request; arg = request id
   kRemoteTimeout,  // retry budget exhausted; arg = request id
   kRemoteDedup,    // duplicate delivery suppressed; arg = request id
+  kRemoteBind,     // bind handshake authorized; arg = granted token
+                   // (0 = denied by the exporter's authorizer)
+  kRemoteRevoke,   // capability token revoked / revocation received;
+                   // arg = the token
 };
 const char* TraceKindName(TraceKind kind);
 

@@ -2,8 +2,10 @@
 
 #include <exception>
 #include <ostream>
+#include <utility>
 
 #include "src/codegen/frame.h"
+#include "src/core/dispatch_state.h"
 #include "src/core/dispatcher.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
@@ -12,7 +14,11 @@ namespace spin {
 namespace remote {
 
 Exporter::Exporter(net::Host& host, uint16_t port)
-    : host_(host), port_(port) {
+    : host_(host),
+      port_(port),
+      // Deterministic per (host, port): chaos tests replay token streams.
+      token_rng_(0x53504541ull ^ (static_cast<uint64_t>(host.ip()) << 16) ^
+                 port) {
   socket_ = std::make_unique<net::UdpSocket>(
       host_, port_,
       [this](const net::Packet& packet) { OnDatagram(packet); });
@@ -31,48 +37,239 @@ void Exporter::Unexport(EventBase& event) {
   if (exports_.erase(event.name()) != 0) {
     withdrawn_.insert(event.name());
   }
+  // The export is gone; every capability minted against it dies with it.
+  for (auto it = bound_.begin(); it != bound_.end();) {
+    if (it->second.event_name == event.name()) {
+      RevokeClient(it->first, it->second);
+      it = bound_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Exporter::Revoke(uint64_t token) {
+  auto it = bound_.find(token);
+  if (it == bound_.end()) {
+    return false;
+  }
+  RevokeClient(token, it->second);
+  bound_.erase(it);
+  return true;
+}
+
+void Exporter::RevokeClient(uint64_t token, const BoundClient& client) {
+  ++revoked_tokens_;
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteRevoke,
+                                     obs::Intern(client.event_name), token);
+  RevokeMsg notice;
+  notice.token = token;
+  notice.event_name = client.event_name;
+  socket_->SendTo(client.ip, client.port, EncodeRevoke(notice));
+}
+
+uint64_t Exporter::MintToken() {
+  uint64_t token;
+  do {
+    // splitmix64: uniform 64-bit stream, pure function of the seed.
+    token_rng_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = token_rng_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    token = z ^ (z >> 31);
+  } while (token == 0 || bound_.count(token) != 0);
+  return token;
 }
 
 void Exporter::OnDatagram(const net::Packet& packet) {
   std::string payload = packet.UdpPayload();
-  RequestMsg request;
-  if (!DecodeRequest(payload, &request)) {
+  MsgType type;
+  if (!PeekType(payload, &type) ||
+      (type != MsgType::kRequest && type != MsgType::kBindRequest)) {
     ++bad_requests_;
     return;  // not ours, or torn; nothing sane to reply to
   }
+
+  auto replay_cached = [this](const DedupKey& key) -> const std::string* {
+    auto it = replay_.find(key);
+    return it != replay_.end() ? &it->second : nullptr;
+  };
+  auto cache_reply = [this](const DedupKey& key, std::string encoded) {
+    replay_.emplace(key, std::move(encoded));
+    replay_fifo_.push_back(key);
+    while (replay_fifo_.size() > kDedupWindow) {
+      replay_.erase(replay_fifo_.front());
+      replay_fifo_.pop_front();
+    }
+  };
+
+  if (type == MsgType::kBindRequest) {
+    BindRequestMsg request;
+    if (!DecodeBindRequest(payload, &request)) {
+      ++bad_requests_;
+      return;
+    }
+    DedupKey key{packet.ip_src(), packet.src_port(),
+                 static_cast<uint8_t>(MsgType::kBindRequest), 0,
+                 request.bind_id};
+    if (const std::string* cached = replay_cached(key)) {
+      // A retransmitted bind replays the original grant: at-most-once
+      // token minting, same as at-most-once dispatch.
+      ++dedup_hits_;
+      obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteDedup,
+                                         obs::Intern(request.event_name),
+                                         request.bind_id);
+      socket_->SendTo(packet.ip_src(), packet.src_port(), *cached);
+      return;
+    }
+    BindReplyMsg reply =
+        Bind(request, packet.ip_src(), packet.src_port());
+    std::string encoded = EncodeBindReply(reply);
+    cache_reply(key, encoded);
+    socket_->SendTo(packet.ip_src(), packet.src_port(), encoded);
+    return;
+  }
+
+  RequestMsg request;
+  if (!DecodeRequest(payload, &request)) {
+    ++bad_requests_;
+    return;
+  }
   ++requests_;
 
-  DedupKey key{packet.ip_src(), packet.src_port(), request.request_id};
-  if (auto it = replay_.find(key); it != replay_.end()) {
+  DedupKey key{packet.ip_src(), packet.src_port(),
+               static_cast<uint8_t>(MsgType::kRequest), request.token,
+               request.request_id};
+  if (const std::string* cached = replay_cached(key)) {
     ++dedup_hits_;
     obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteDedup,
                                        obs::Intern(request.event_name),
                                        request.request_id);
     if (request.kind == RaiseKind::kSync) {
-      socket_->SendTo(packet.ip_src(), packet.src_port(), it->second);
+      socket_->SendTo(packet.ip_src(), packet.src_port(), *cached);
     }
     return;  // at-most-once: the event does not raise again
   }
 
   ReplyMsg reply = Dispatch(request);
   std::string encoded = EncodeReply(reply);
-  replay_.emplace(key, encoded);
-  replay_fifo_.push_back(key);
-  while (replay_fifo_.size() > kDedupWindow) {
-    replay_.erase(replay_fifo_.front());
-    replay_fifo_.pop_front();
-  }
+  cache_reply(key, std::move(encoded));
   if (request.kind == RaiseKind::kSync) {
-    socket_->SendTo(packet.ip_src(), packet.src_port(), encoded);
+    socket_->SendTo(packet.ip_src(), packet.src_port(),
+                    replay_.find(key)->second);
   }
+}
+
+BindReplyMsg Exporter::Bind(const BindRequestMsg& request,
+                            uint32_t source_ip, uint16_t source_port) {
+  BindReplyMsg reply;
+  reply.bind_id = request.bind_id;
+
+  auto it = exports_.find(request.event_name);
+  if (it == exports_.end()) {
+    if (withdrawn_.count(request.event_name) != 0) {
+      ++unbound_;
+      reply.status = WireStatus::kUnbound;
+    } else {
+      reply.status = WireStatus::kNoSuchEvent;
+    }
+    return reply;
+  }
+  const Entry& entry = it->second;
+  if (request.params != entry.plan.params) {
+    ++bad_requests_;
+    reply.status = WireStatus::kBadRequest;
+    reply.error = "signature mismatch for " + request.event_name;
+    return reply;
+  }
+
+  auto deny = [&](const std::string& why) {
+    ++auth_denied_;
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteBind,
+                                       obs::Intern(request.event_name), 0);
+    reply.status = WireStatus::kDenied;
+    reply.error = why;
+    reply.guards.clear();
+    return reply;
+  };
+
+  // The candidate binding the authorizer sees. It is never installed in a
+  // dispatcher — it exists so AuthRequest::ImposeGuard has its usual
+  // target and so raise-time enforcement has a guard list to evaluate.
+  BoundClient client;
+  client.event_name = request.event_name;
+  client.ip = source_ip;
+  client.port = source_port;
+  client.module = std::make_unique<Module>(request.module_name);
+  client.binding = std::make_shared<Binding>();
+  client.binding->event = entry.event;
+  client.binding->owner = client.module.get();
+  client.binding->erased = true;
+  client.binding->sig = entry.event->sig();
+
+  RemoteBindInfo info;
+  info.source_ip = source_ip;
+  info.source_port = source_port;
+  info.module_name = request.module_name;
+  info.credential = request.credential;
+
+  AuthRequest auth;
+  auth.op = AuthOp::kInstall;
+  auth.event = entry.event;
+  auth.binding = client.binding.get();
+  auth.requestor = client.module.get();
+  auth.credentials = &info;
+  if (!entry.event->owner().Authorize(auth)) {
+    return deny("bind denied by authorizer for " + request.event_name);
+  }
+
+  // Serialize the imposed guards for proxy-side evaluation. A guard that
+  // cannot cross the wire fails the bind closed: granting without it would
+  // silently weaken what the authorizer demanded.
+  const std::vector<GuardClause>& guards = client.binding->guards();
+  if (guards.size() > kMaxWireGuards) {
+    return deny("too many imposed guards for " + request.event_name);
+  }
+  for (const GuardClause& guard : guards) {
+    if (!guard.prog.has_value() || guard.closure_form ||
+        !WireableGuard(*guard.prog) ||
+        guard.prog->num_args() !=
+            static_cast<int>(entry.plan.params.size())) {
+      return deny("imposed guard is not wireable for " + request.event_name);
+    }
+    reply.guards.push_back(*guard.prog);
+  }
+
+  uint64_t token = MintToken();
+  ++binds_;
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteBind,
+                                     obs::Intern(request.event_name), token);
+  bound_.emplace(token, std::move(client));
+  reply.status = WireStatus::kOk;
+  reply.token = token;
+  return reply;
 }
 
 ReplyMsg Exporter::Dispatch(const RequestMsg& request) {
   ReplyMsg reply;
   reply.request_id = request.request_id;
 
+  // Capability first: a withdrawn or revoked binding fails fast with
+  // kRevoked no matter what else the request claims.
+  auto bit = bound_.find(request.token);
+  if (bit == bound_.end() ||
+      bit->second.event_name != request.event_name) {
+    ++revoked_raises_;
+    reply.status = WireStatus::kRevoked;
+    reply.error = "stale or unknown capability for " + request.event_name;
+    return reply;
+  }
+  const BoundClient& client = bit->second;
+
   auto it = exports_.find(request.event_name);
   if (it == exports_.end()) {
+    // Defensive: Unexport revokes its tokens, so a live token implies a
+    // live export; raw-wire traffic can still get here.
     if (withdrawn_.count(request.event_name) != 0) {
       ++unbound_;
       reply.status = WireStatus::kUnbound;
@@ -104,6 +301,17 @@ ReplyMsg Exporter::Dispatch(const RequestMsg& request) {
     } else {
       frame.args[i] = request.args[i];
     }
+  }
+
+  // Enforce the bind's imposed guards. The proxy evaluates the same
+  // programs before marshaling (saving this roundtrip on rejection), but
+  // the exporter is the trust boundary — raw-wire callers do not get to
+  // skip what the authorizer imposed.
+  if (!EvalGuards(*client.binding, frame.args)) {
+    ++guard_rejected_;
+    reply.status = WireStatus::kGuardRejected;
+    reply.error = "imposed guard rejected raise of " + request.event_name;
+    return reply;
   }
 
   try {
@@ -141,6 +349,11 @@ void Exporter::ExportMetricsSource(void* ctx, std::ostream& os) {
   line("spin_remote_server_exceptions_total", self->exceptions_);
   line("spin_remote_server_bad_requests_total", self->bad_requests_);
   line("spin_remote_server_unbound_total", self->unbound_);
+  line("spin_remote_server_binds_total", self->binds_);
+  line("spin_remote_server_auth_denied_total", self->auth_denied_);
+  line("spin_remote_server_revoked_tokens_total", self->revoked_tokens_);
+  line("spin_remote_server_revoked_raises_total", self->revoked_raises_);
+  line("spin_remote_server_guard_rejected_total", self->guard_rejected_);
 }
 
 }  // namespace remote

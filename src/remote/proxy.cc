@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <utility>
 
 #include "src/core/errors.h"
 #include "src/obs/export.h"
@@ -17,7 +18,8 @@ EventProxy::EventProxy(net::Host& host, sim::Simulator* sim,
       event_(event),
       opts_(opts),
       plan_(PlanFor(event.sig(), event.name())),
-      module_("Remote.Proxy." + event.name()),
+      module_(opts.module_name.empty() ? "Remote.Proxy." + event.name()
+                                       : opts.module_name),
       obs_name_(event.obs_name()) {
   if (opts_.kind == RaiseKind::kAsync) {
     // §2.6 across the wire: a detached raise can return nothing and must
@@ -38,12 +40,27 @@ EventProxy::EventProxy(net::Host& host, sim::Simulator* sim,
   socket_ = std::make_unique<net::UdpSocket>(
       host_, opts_.local_port,
       [this](const net::Packet& packet) { OnDatagram(packet); });
+
+  // Seed the id counter from virtual time so a proxy re-bound on the same
+  // local port never reuses a predecessor's bind/request ids — the
+  // exporter's replay cache would otherwise serve it the old incarnation's
+  // cached replies. Deterministic: virtual time is a pure function of the
+  // simulation schedule.
+  next_id_ = sim_->now_ns() + 1;
+
+  // Bind before installing anything: a denied handshake throws out of the
+  // constructor and leaves no local binding behind.
+  std::vector<micro::Program> imposed = BindHandshake();
+
   InstallOptions install;
   install.module = &module_;
   install.async = opts_.kind == RaiseKind::kAsync;
   binding_ = host_.dispatcher().InstallErasedHandler(event_, this,
                                                      &EventProxy::Invoke,
                                                      install);
+  for (micro::Program& prog : imposed) {
+    host_.dispatcher().ImposeMicroGuard(binding_, std::move(prog));
+  }
   obs::RegisterSource(this, &EventProxy::ExportMetricsSource);
 }
 
@@ -52,6 +69,86 @@ EventProxy::~EventProxy() {
   if (binding_ != nullptr && binding_->active.load()) {
     host_.dispatcher().Uninstall(binding_, &module_);
   }
+}
+
+std::vector<micro::Program> EventProxy::BindHandshake() {
+  BindRequestMsg request;
+  request.bind_id = next_id_++;
+  request.event_name = event_.name();
+  request.module_name = module_.name();
+  request.credential =
+      opts_.credential.empty() ? host_.credential() : opts_.credential;
+  request.params = plan_.params;
+  const uint64_t id = request.bind_id;
+
+  if (!TransmitAwait(EncodeBindRequest(request), id, [this, id] {
+        return bind_inbox_.find(id) != bind_inbox_.end();
+      })) {
+    ++timeouts_;
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteTimeout,
+                                       obs_name_, id);
+    throw RemoteError(RemoteStatus::kTimeout,
+                      event_.name() + ": bind handshake got no reply after " +
+                          std::to_string(opts_.max_attempts) + " attempts");
+  }
+  BindReplyMsg reply = std::move(bind_inbox_[id]);
+  bind_inbox_.erase(id);
+
+  switch (reply.status) {
+    case WireStatus::kOk:
+      break;
+    case WireStatus::kDenied:
+      obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteBind,
+                                         obs_name_, 0);
+      throw RemoteError(RemoteStatus::kDenied, reply.error);
+    case WireStatus::kUnbound:
+    case WireStatus::kNoSuchEvent:
+      throw RemoteError(RemoteStatus::kDead, event_.name());
+    default:
+      throw RemoteError(RemoteStatus::kProtocol,
+                        event_.name() + ": unexpected bind reply status");
+  }
+  // Imposed guards evaluate over the same argument slots locally as they
+  // would exporter-side, so a mismatched arity is a protocol violation,
+  // not something to paper over.
+  for (const micro::Program& prog : reply.guards) {
+    if (prog.num_args() != static_cast<int>(plan_.params.size())) {
+      throw RemoteError(RemoteStatus::kProtocol,
+                        event_.name() + ": imposed guard arity mismatch");
+    }
+  }
+  token_ = reply.token;
+  obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteBind, obs_name_,
+                                     token_);
+  return std::move(reply.guards);
+}
+
+bool EventProxy::TransmitAwait(const std::string& encoded,
+                               uint64_t trace_arg,
+                               const std::function<bool()>& arrived) {
+  uint64_t attempt_timeout = opts_.timeout_ns;
+  for (uint32_t attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++retries_;
+      obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteRetry,
+                                         obs_name_, attempt - 1);
+    }
+    socket_->SendTo(opts_.remote_ip, opts_.remote_port, encoded);
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteSend,
+                                       obs_name_, trace_arg);
+    // Pump the simulator up to this attempt's deadline. The sentinel no-op
+    // guarantees the queue holds an entry at the deadline, so RunOne always
+    // advances virtual time — a lost reply cannot stall the loop.
+    const uint64_t deadline = sim_->now_ns() + attempt_timeout;
+    sim_->At(deadline, [] {});
+    while (!arrived() && sim_->now_ns() < deadline && sim_->RunOne()) {
+    }
+    if (arrived()) {
+      return true;
+    }
+    attempt_timeout = std::min(attempt_timeout * 2, opts_.max_backoff_ns);
+  }
+  return false;
 }
 
 uint64_t EventProxy::Invoke(void* fn, void* closure, uint64_t* slots) {
@@ -68,12 +165,15 @@ uint64_t EventProxy::RaiseSync(uint64_t* slots) {
   ++raises_;
   if (dead_) {
     ++dead_raises_;
-    throw RemoteError(RemoteStatus::kDead, event_.name());
+    throw RemoteError(
+        revoked_ ? RemoteStatus::kRevoked : RemoteStatus::kDead,
+        event_.name());
   }
 
   RequestMsg request;
   request.kind = RaiseKind::kSync;
   request.request_id = next_id_++;
+  request.token = token_;
   request.event_name = event_.name();
   request.params = plan_.params;
   request.args.reserve(plan_.params.size());
@@ -94,38 +194,22 @@ uint64_t EventProxy::RaiseSync(uint64_t* slots) {
 
   const uint64_t id = request.request_id;
   const uint64_t start_ns = sim_->now_ns();
-  uint64_t attempt_timeout = opts_.timeout_ns;
-  bool got = false;
-  for (uint32_t attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
-    if (attempt > 1) {
-      ++retries_;
-      obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteRetry,
-                                         obs_name_, attempt - 1);
-    }
-    socket_->SendTo(opts_.remote_ip, opts_.remote_port, encoded);
-    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteSend,
-                                       obs_name_, id);
-    // Pump the simulator up to this attempt's deadline. The sentinel no-op
-    // guarantees the queue holds an entry at the deadline, so RunOne always
-    // advances virtual time — a lost reply cannot stall the loop.
-    const uint64_t deadline = sim_->now_ns() + attempt_timeout;
-    sim_->At(deadline, [] {});
-    while (inbox_.find(id) == inbox_.end() && sim_->now_ns() < deadline &&
-           sim_->RunOne()) {
-    }
-    if (inbox_.find(id) != inbox_.end()) {
-      got = true;
-      break;
-    }
-    attempt_timeout = std::min(attempt_timeout * 2, opts_.max_backoff_ns);
-  }
-  if (!got) {
+  if (!TransmitAwait(encoded, id, [this, id] {
+        return dead_ || inbox_.find(id) != inbox_.end();
+      })) {
     ++timeouts_;
     obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteTimeout,
                                        obs_name_, id);
     throw RemoteError(RemoteStatus::kTimeout,
                       event_.name() + " after " +
                           std::to_string(opts_.max_attempts) + " attempts");
+  }
+  if (inbox_.find(id) == inbox_.end()) {
+    // A revocation notice arrived while we pumped for the reply.
+    ++dead_raises_;
+    throw RemoteError(
+        revoked_ ? RemoteStatus::kRevoked : RemoteStatus::kDead,
+        event_.name());
   }
 
   ReplyMsg reply = std::move(inbox_[id]);
@@ -143,7 +227,18 @@ uint64_t EventProxy::RaiseSync(uint64_t* slots) {
     case WireStatus::kNoSuchEvent:
       dead_ = true;
       throw RemoteError(RemoteStatus::kDead, event_.name());
+    case WireStatus::kRevoked:
+      dead_ = true;
+      revoked_ = true;
+      obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteRevoke,
+                                         obs_name_, token_);
+      throw RemoteError(RemoteStatus::kRevoked, reply.error);
     case WireStatus::kBadRequest:
+    case WireStatus::kDenied:
+    case WireStatus::kGuardRejected:
+      // kGuardRejected here means the exporter's view of the imposed
+      // guards disagreed with ours — proxy-side evaluation should have
+      // skipped the raise before any datagram left.
       throw RemoteError(RemoteStatus::kProtocol, reply.error);
   }
 
@@ -165,6 +260,7 @@ uint64_t EventProxy::RaiseSync(uint64_t* slots) {
 void EventProxy::EnqueueAsync(const uint64_t* slots) {
   RequestMsg request;
   request.kind = RaiseKind::kAsync;
+  request.token = token_;
   request.event_name = event_.name();
   request.params = plan_.params;
   request.args.assign(slots, slots + plan_.params.size());
@@ -185,6 +281,11 @@ size_t EventProxy::Flush() {
     std::lock_guard<std::mutex> lock(outbox_mu_);
     drained.swap(outbox_);
   }
+  if (dead_) {
+    // Fail fast like the sync path: a revoked/dead proxy generates no
+    // traffic; queued datagrams are dropped, not transmitted.
+    return 0;
+  }
   for (const std::string& encoded : drained) {
     socket_->SendTo(opts_.remote_ip, opts_.remote_port, encoded);
     obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteSend,
@@ -194,11 +295,41 @@ size_t EventProxy::Flush() {
 }
 
 void EventProxy::OnDatagram(const net::Packet& packet) {
-  ReplyMsg reply;
-  if (!DecodeReply(packet.UdpPayload(), &reply)) {
-    return;  // not a reply; ignore
+  std::string payload = packet.UdpPayload();
+  MsgType type;
+  if (!PeekType(payload, &type)) {
+    return;  // not ours; ignore
   }
-  inbox_[reply.request_id] = std::move(reply);
+  switch (type) {
+    case MsgType::kReply: {
+      ReplyMsg reply;
+      if (DecodeReply(payload, &reply)) {
+        inbox_[reply.request_id] = std::move(reply);
+      }
+      return;
+    }
+    case MsgType::kBindReply: {
+      BindReplyMsg reply;
+      if (DecodeBindReply(payload, &reply)) {
+        bind_inbox_[reply.bind_id] = std::move(reply);
+      }
+      return;
+    }
+    case MsgType::kRevoke: {
+      RevokeMsg notice;
+      if (DecodeRevoke(payload, &notice) && token_ != 0 &&
+          notice.token == token_) {
+        ++revoke_notices_;
+        dead_ = true;
+        revoked_ = true;
+        obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteRevoke,
+                                           obs_name_, token_);
+      }
+      return;
+    }
+    default:
+      return;  // requests/bind-requests are the exporter's business
+  }
 }
 
 void EventProxy::ExportMetricsSource(void* ctx, std::ostream& os) {
@@ -219,6 +350,7 @@ void EventProxy::ExportMetricsSource(void* ctx, std::ostream& os) {
   line("spin_remote_client_retries_total", self->retries_);
   line("spin_remote_client_timeouts_total", self->timeouts_);
   line("spin_remote_client_dead_raises_total", self->dead_raises_);
+  line("spin_remote_client_revoke_notices_total", self->revoke_notices_);
   obs::HistogramSnapshot snap = self->roundtrip_.Snapshot();
   if (snap.count != 0) {
     for (double q : {0.5, 0.9, 0.99}) {

@@ -7,6 +7,19 @@
 // raiser until the reply carries back the result, the final VAR values, or
 // the remote exception.
 //
+// Before any of that, the proxy binds (§2.5 across the wire): the
+// constructor performs a BindRequest/BindReply handshake carrying the
+// proxy's module identity and a credential blob (per-proxy override or the
+// host's default). The exporter runs the event's authorizer; a denial
+// throws RemoteError(kDenied) and installs nothing. A grant returns a
+// capability token — stamped on every subsequent raise — plus any
+// authorizer-imposed guards, serialized as micro-programs. The proxy
+// installs those on its local binding (ImposeMicroGuard), so a raise the
+// imposed guard rejects is skipped locally, before marshaling: the same
+// observable behavior as a guarded local binding, minus the roundtrip.
+// The exporter re-evaluates the guards anyway — proxy-side evaluation is
+// an optimization, exporter-side evaluation is the trust boundary.
+//
 // "Blocks" on a discrete-event simulator means the proxy pumps the
 // simulator from inside the raise: it schedules a sentinel no-op at the
 // attempt deadline and runs simulator events one at a time until either
@@ -15,7 +28,8 @@
 // timeout (capped at max_backoff_ns) — the exporter's at-most-once window
 // guarantees the event body never runs twice even when an earlier attempt
 // was merely delayed, not lost. When the retry budget is exhausted the
-// raise throws RemoteError(kTimeout); it never hangs.
+// raise throws RemoteError(kTimeout); it never hangs. The bind handshake
+// retries on the same schedule.
 //
 // Asynchronous proxies (RaiseKind::kAsync) are fire-and-forget: the
 // binding is installed async, so the marshal runs on the dispatcher's
@@ -25,14 +39,18 @@
 // it. Async proxies reject result-returning and VAR signatures at install
 // (§2.6's rule, extended across the wire).
 //
-// A reply of kUnbound or kNoSuchEvent marks the proxy dead: the remote
-// binding is gone and no retry will revive it, so every subsequent raise
-// fails fast with RemoteError(kDead) without generating traffic.
+// Death and revocation: a reply of kUnbound or kNoSuchEvent marks the
+// proxy dead (the remote binding is gone; subsequent raises fail fast with
+// RemoteError(kDead), no traffic). A kRevoked reply, or a pushed Revoke
+// notice matching the proxy's token, marks it revoked: subsequent raises
+// fail fast with RemoteError(kRevoked), and Flush() drops queued async
+// datagrams instead of transmitting them.
 #ifndef SRC_REMOTE_PROXY_H_
 #define SRC_REMOTE_PROXY_H_
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,13 +74,22 @@ struct ProxyOptions {
   uint32_t max_attempts = 5;                 // first send + retries
   uint64_t timeout_ns = 2'000'000;           // first attempt's deadline
   uint64_t max_backoff_ns = 32'000'000;      // timeout doubling cap
+
+  // Identity presented in the bind handshake. Empty module_name defaults
+  // to "Remote.Proxy.<event>"; empty credential defaults to the host's
+  // (Host::SetCredential).
+  std::string module_name;
+  std::string credential;
 };
 
 class EventProxy {
  public:
-  // Installs the proxy binding. Throws RemoteError(kUnmarshalable) when
-  // the event's signature cannot cross the wire (or, for kAsync, returns
-  // a result / takes VAR parameters).
+  // Performs the bind handshake, then installs the proxy binding. Throws
+  // RemoteError(kUnmarshalable) when the event's signature cannot cross
+  // the wire (or, for kAsync, returns a result / takes VAR parameters);
+  // RemoteError(kDenied) when the exporter's authorizer refuses the bind;
+  // RemoteError(kTimeout) when the handshake exhausts its retry budget.
+  // A throwing constructor installs nothing.
   EventProxy(net::Host& host, sim::Simulator* sim, EventBase& event,
              const ProxyOptions& opts);
   ~EventProxy();
@@ -71,14 +98,18 @@ class EventProxy {
 
   // Hands queued fire-and-forget datagrams to the network. Call from the
   // simulation thread (typically after ThreadPool::Drain()); returns the
-  // number of datagrams transmitted.
+  // number of datagrams transmitted (0 when dead or revoked — queued
+  // datagrams are dropped, matching the fail-fast sync path).
   size_t Flush();
 
   bool dead() const { return dead_; }
+  bool revoked() const { return revoked_; }
+  uint64_t token() const { return token_; }
   uint64_t raises() const { return raises_; }
   uint64_t retries() const { return retries_; }
   uint64_t timeouts() const { return timeouts_; }
   uint64_t dead_raises() const { return dead_raises_; }
+  uint64_t revoke_notices() const { return revoke_notices_; }
 
   // Distribution of sync roundtrips in virtual (simulated) nanoseconds.
   const obs::Histogram& roundtrip_hist() const { return roundtrip_; }
@@ -87,6 +118,16 @@ class EventProxy {
 
  private:
   static uint64_t Invoke(void* fn, void* closure, uint64_t* slots);
+
+  // Constructor-time BindRequest/BindReply exchange. Sets token_ and
+  // returns the guards the authorizer imposed; throws on denial/timeout.
+  std::vector<micro::Program> BindHandshake();
+
+  // Sends `encoded` and pumps the simulator until arrived() or the retry
+  // budget runs out (returns false). Shared by the handshake and sync
+  // raises; retransmissions count into retries_.
+  bool TransmitAwait(const std::string& encoded, uint64_t trace_arg,
+                     const std::function<bool()>& arrived);
 
   uint64_t RaiseSync(uint64_t* slots);
   void EnqueueAsync(const uint64_t* slots);
@@ -103,9 +144,12 @@ class EventProxy {
   BindingHandle binding_;
   const char* obs_name_;  // interned event name for trace records
 
-  uint64_t next_id_ = 1;
-  std::map<uint64_t, ReplyMsg> inbox_;  // replies awaiting their raiser
+  uint64_t next_id_ = 1;  // re-seeded from virtual time at construction
+  uint64_t token_ = 0;  // capability granted by the bind handshake
+  std::map<uint64_t, ReplyMsg> inbox_;      // replies awaiting their raiser
+  std::map<uint64_t, BindReplyMsg> bind_inbox_;
   bool dead_ = false;
+  bool revoked_ = false;
 
   std::mutex outbox_mu_;  // async marshals run on pool threads
   std::deque<std::string> outbox_;
@@ -114,6 +158,7 @@ class EventProxy {
   uint64_t retries_ = 0;
   uint64_t timeouts_ = 0;
   uint64_t dead_raises_ = 0;
+  uint64_t revoke_notices_ = 0;
   obs::Histogram roundtrip_;
 };
 

@@ -79,20 +79,113 @@ bool GetHeader(Reader& r, MsgType expect) {
          type == static_cast<uint8_t>(expect);
 }
 
+// A 2-byte-length-prefixed string.
+void PutString(std::string& out, const std::string& s) {
+  Put16(out, static_cast<uint16_t>(s.size()));
+  out.append(s);
+}
+
+bool GetString(Reader& r, std::string* s) {
+  uint16_t n;
+  return r.Get16(&n) && r.GetBytes(n, s);
+}
+
+void PutParams(std::string& out, const std::vector<WireParam>& params) {
+  Put8(out, static_cast<uint8_t>(params.size()));
+  for (const WireParam& p : params) {
+    Put8(out, static_cast<uint8_t>(p.cls | (p.by_ref ? 0x80 : 0)));
+  }
+}
+
+bool GetParams(Reader& r, std::vector<WireParam>* params, uint8_t* argc) {
+  if (!r.Get8(argc) || *argc > kMaxWireArgs) {
+    return false;
+  }
+  params->clear();
+  params->reserve(*argc);
+  for (int i = 0; i < *argc; ++i) {
+    uint8_t tag;
+    if (!r.Get8(&tag)) {
+      return false;
+    }
+    params->push_back(
+        WireParam{static_cast<uint8_t>(tag & 0x7f), (tag & 0x80) != 0});
+  }
+  return true;
+}
+
+void PutGuard(std::string& out, const micro::Program& prog) {
+  Put8(out, static_cast<uint8_t>(prog.num_args()));
+  Put16(out, static_cast<uint16_t>(prog.code().size()));
+  for (const micro::Insn& insn : prog.code()) {
+    Put8(out, static_cast<uint8_t>(insn.op));
+    Put8(out, insn.dst);
+    Put8(out, insn.a);
+    Put8(out, insn.b);
+    Put64(out, insn.imm);
+  }
+}
+
+bool GetGuard(Reader& r, micro::Program* out) {
+  uint8_t num_args;
+  uint16_t ninsn;
+  if (!r.Get8(&num_args) || num_args > micro::kMaxArgs || !r.Get16(&ninsn) ||
+      ninsn == 0 || ninsn > kMaxWireGuardInsns) {
+    return false;
+  }
+  std::vector<micro::Insn> code;
+  code.reserve(ninsn);
+  for (int i = 0; i < ninsn; ++i) {
+    uint8_t op;
+    micro::Insn insn;
+    if (!r.Get8(&op) || op > static_cast<uint8_t>(micro::Op::kRetImm) ||
+        !r.Get8(&insn.dst) || !r.Get8(&insn.a) || !r.Get8(&insn.b) ||
+        !r.Get64(&insn.imm)) {
+      return false;
+    }
+    insn.op = static_cast<micro::Op>(op);
+    code.push_back(insn);
+  }
+  micro::Program prog(std::move(code), num_args, /*functional=*/true);
+  // Reject anything that would be uninstallable or references memory the
+  // receiver does not share; the decoder is the trust boundary.
+  if (!WireableGuard(prog)) {
+    return false;
+  }
+  *out = std::move(prog);
+  return true;
+}
+
 }  // namespace
+
+bool WireableGuard(const micro::Program& prog) {
+  if (!prog.functional() ||
+      prog.Validate() != micro::ValidateStatus::kOk) {
+    return false;
+  }
+  for (const micro::Insn& insn : prog.code()) {
+    switch (insn.op) {
+      case micro::Op::kLoadGlobal:
+      case micro::Op::kLoadField:
+      case micro::Op::kStoreGlobal:
+      case micro::Op::kStoreField:
+        return false;  // addresses do not cross the wire
+      default:
+        break;
+    }
+  }
+  return true;
+}
 
 std::string EncodeRequest(const RequestMsg& msg) {
   std::string out;
-  out.reserve(19 + msg.event_name.size() + 9 * msg.params.size());
+  out.reserve(27 + msg.event_name.size() + 9 * msg.params.size());
   PutHeader(out, MsgType::kRequest);
   Put8(out, static_cast<uint8_t>(msg.kind));
   Put64(out, msg.request_id);
-  Put16(out, static_cast<uint16_t>(msg.event_name.size()));
-  out.append(msg.event_name);
-  Put8(out, static_cast<uint8_t>(msg.params.size()));
-  for (const WireParam& p : msg.params) {
-    Put8(out, static_cast<uint8_t>(p.cls | (p.by_ref ? 0x80 : 0)));
-  }
+  Put64(out, msg.token);
+  PutString(out, msg.event_name);
+  PutParams(out, msg.params);
   for (uint64_t v : msg.args) {
     Put64(out, v);
   }
@@ -110,8 +203,44 @@ std::string EncodeReply(const ReplyMsg& msg) {
   for (uint64_t v : msg.byref) {
     Put64(out, v);
   }
-  Put16(out, static_cast<uint16_t>(msg.error.size()));
-  out.append(msg.error);
+  PutString(out, msg.error);
+  return out;
+}
+
+std::string EncodeBindRequest(const BindRequestMsg& msg) {
+  std::string out;
+  out.reserve(19 + msg.event_name.size() + msg.module_name.size() +
+              msg.credential.size() + msg.params.size());
+  PutHeader(out, MsgType::kBindRequest);
+  Put64(out, msg.bind_id);
+  PutString(out, msg.event_name);
+  PutString(out, msg.module_name);
+  PutString(out, msg.credential);
+  PutParams(out, msg.params);
+  return out;
+}
+
+std::string EncodeBindReply(const BindReplyMsg& msg) {
+  std::string out;
+  out.reserve(24 + msg.error.size());
+  PutHeader(out, MsgType::kBindReply);
+  Put8(out, static_cast<uint8_t>(msg.status));
+  Put64(out, msg.bind_id);
+  Put64(out, msg.token);
+  Put8(out, static_cast<uint8_t>(msg.guards.size()));
+  for (const micro::Program& guard : msg.guards) {
+    PutGuard(out, guard);
+  }
+  PutString(out, msg.error);
+  return out;
+}
+
+std::string EncodeRevoke(const RevokeMsg& msg) {
+  std::string out;
+  out.reserve(14 + msg.event_name.size());
+  PutHeader(out, MsgType::kRevoke);
+  Put64(out, msg.token);
+  PutString(out, msg.event_name);
   return out;
 }
 
@@ -126,27 +255,16 @@ bool DecodeRequest(const std::string& wire, RequestMsg* out) {
     return false;
   }
   out->kind = static_cast<RaiseKind>(kind);
-  uint16_t name_len;
-  if (!r.Get64(&out->request_id) || !r.Get16(&name_len) ||
-      !r.GetBytes(name_len, &out->event_name)) {
+  if (!r.Get64(&out->request_id) || !r.Get64(&out->token) ||
+      !GetString(r, &out->event_name)) {
     return false;
   }
   uint8_t argc;
-  if (!r.Get8(&argc)) {
+  if (!GetParams(r, &out->params, &argc)) {
     return false;
   }
-  out->params.clear();
   out->args.clear();
-  out->params.reserve(argc);
   out->args.reserve(argc);
-  for (int i = 0; i < argc; ++i) {
-    uint8_t tag;
-    if (!r.Get8(&tag)) {
-      return false;
-    }
-    out->params.push_back(
-        WireParam{static_cast<uint8_t>(tag & 0x7f), (tag & 0x80) != 0});
-  }
   for (int i = 0; i < argc; ++i) {
     uint64_t v;
     if (!r.Get64(&v)) {
@@ -163,13 +281,14 @@ bool DecodeReply(const std::string& wire, ReplyMsg* out) {
     return false;
   }
   uint8_t status;
-  if (!r.Get8(&status) || status > static_cast<uint8_t>(WireStatus::kBadRequest)) {
+  if (!r.Get8(&status) ||
+      status > static_cast<uint8_t>(WireStatus::kGuardRejected)) {
     return false;
   }
   out->status = static_cast<WireStatus>(status);
   uint8_t nbyref;
   if (!r.Get64(&out->request_id) || !r.Get64(&out->result) ||
-      !r.Get8(&nbyref)) {
+      !r.Get8(&nbyref) || nbyref > kMaxWireArgs) {
     return false;
   }
   out->byref.clear();
@@ -181,8 +300,65 @@ bool DecodeReply(const std::string& wire, ReplyMsg* out) {
     }
     out->byref.push_back(v);
   }
-  uint16_t errlen;
-  if (!r.Get16(&errlen) || !r.GetBytes(errlen, &out->error)) {
+  if (!GetString(r, &out->error)) {
+    return false;
+  }
+  return r.pos == r.len;
+}
+
+bool DecodeBindRequest(const std::string& wire, BindRequestMsg* out) {
+  Reader r{reinterpret_cast<const uint8_t*>(wire.data()), wire.size()};
+  if (!GetHeader(r, MsgType::kBindRequest)) {
+    return false;
+  }
+  if (!r.Get64(&out->bind_id) || !GetString(r, &out->event_name) ||
+      !GetString(r, &out->module_name) || !GetString(r, &out->credential)) {
+    return false;
+  }
+  uint8_t argc;
+  if (!GetParams(r, &out->params, &argc)) {
+    return false;
+  }
+  return r.pos == r.len;
+}
+
+bool DecodeBindReply(const std::string& wire, BindReplyMsg* out) {
+  Reader r{reinterpret_cast<const uint8_t*>(wire.data()), wire.size()};
+  if (!GetHeader(r, MsgType::kBindReply)) {
+    return false;
+  }
+  uint8_t status;
+  if (!r.Get8(&status) ||
+      status > static_cast<uint8_t>(WireStatus::kGuardRejected)) {
+    return false;
+  }
+  out->status = static_cast<WireStatus>(status);
+  uint8_t nguards;
+  if (!r.Get64(&out->bind_id) || !r.Get64(&out->token) ||
+      !r.Get8(&nguards) || nguards > kMaxWireGuards) {
+    return false;
+  }
+  out->guards.clear();
+  out->guards.reserve(nguards);
+  for (int i = 0; i < nguards; ++i) {
+    micro::Program guard;
+    if (!GetGuard(r, &guard)) {
+      return false;
+    }
+    out->guards.push_back(std::move(guard));
+  }
+  if (!GetString(r, &out->error)) {
+    return false;
+  }
+  return r.pos == r.len;
+}
+
+bool DecodeRevoke(const std::string& wire, RevokeMsg* out) {
+  Reader r{reinterpret_cast<const uint8_t*>(wire.data()), wire.size()};
+  if (!GetHeader(r, MsgType::kRevoke)) {
+    return false;
+  }
+  if (!r.Get64(&out->token) || !GetString(r, &out->event_name)) {
     return false;
   }
   return r.pos == r.len;
@@ -197,8 +373,8 @@ bool PeekType(const std::string& wire, MsgType* out) {
   if (magic != kWireMagic || d[2] != kWireVersion) {
     return false;
   }
-  if (d[3] != static_cast<uint8_t>(MsgType::kRequest) &&
-      d[3] != static_cast<uint8_t>(MsgType::kReply)) {
+  if (d[3] < static_cast<uint8_t>(MsgType::kRequest) ||
+      d[3] > static_cast<uint8_t>(MsgType::kRevoke)) {
     return false;
   }
   *out = static_cast<MsgType>(d[3]);

@@ -46,6 +46,7 @@ TEST(RemoteWireFormat, RequestRoundTrip) {
   RequestMsg msg;
   msg.kind = RaiseKind::kSync;
   msg.request_id = 0x0123456789abcdefull;
+  msg.token = 0xfeedfacecafebeefull;
   msg.event_name = "Fs.Read";
   msg.params = {WireParam{static_cast<uint8_t>(TypeClass::kInt32), false},
                 WireParam{static_cast<uint8_t>(TypeClass::kUInt64), true}};
@@ -55,9 +56,80 @@ TEST(RemoteWireFormat, RequestRoundTrip) {
   ASSERT_TRUE(DecodeRequest(EncodeRequest(msg), &decoded));
   EXPECT_EQ(decoded.kind, msg.kind);
   EXPECT_EQ(decoded.request_id, msg.request_id);
+  EXPECT_EQ(decoded.token, msg.token);
   EXPECT_EQ(decoded.event_name, msg.event_name);
   EXPECT_EQ(decoded.params, msg.params);
   EXPECT_EQ(decoded.args, msg.args);
+}
+
+TEST(RemoteWireFormat, BindMessagesRoundTrip) {
+  BindRequestMsg req;
+  req.bind_id = 77;
+  req.event_name = "Vault.Op";
+  req.module_name = "Remote.Proxy.Vault.Op";
+  req.credential = "open sesame";
+  req.params = {WireParam{static_cast<uint8_t>(TypeClass::kUInt64), false}};
+  BindRequestMsg req_out;
+  ASSERT_TRUE(DecodeBindRequest(EncodeBindRequest(req), &req_out));
+  EXPECT_EQ(req_out.bind_id, req.bind_id);
+  EXPECT_EQ(req_out.event_name, req.event_name);
+  EXPECT_EQ(req_out.module_name, req.module_name);
+  EXPECT_EQ(req_out.credential, req.credential);
+  EXPECT_EQ(req_out.params, req.params);
+
+  BindReplyMsg rep;
+  rep.status = WireStatus::kOk;
+  rep.bind_id = 77;
+  rep.token = 0x1122334455667788ull;
+  rep.guards.push_back(std::move(micro::ProgramBuilder(1, /*functional=*/true)
+                                     .LoadArg(0, 0)
+                                     .LoadImm(1, 100)
+                                     .CmpLtU(2, 0, 1)
+                                     .Ret(2))
+                           .Build());
+  BindReplyMsg rep_out;
+  ASSERT_TRUE(DecodeBindReply(EncodeBindReply(rep), &rep_out));
+  EXPECT_EQ(rep_out.status, rep.status);
+  EXPECT_EQ(rep_out.bind_id, rep.bind_id);
+  EXPECT_EQ(rep_out.token, rep.token);
+  ASSERT_EQ(rep_out.guards.size(), 1u);
+  EXPECT_EQ(rep_out.guards[0].num_args(), 1);
+  EXPECT_TRUE(rep_out.guards[0].functional());
+  ASSERT_EQ(rep_out.guards[0].code().size(), rep.guards[0].code().size());
+  for (size_t i = 0; i < rep.guards[0].code().size(); ++i) {
+    const micro::Insn& a = rep.guards[0].code()[i];
+    const micro::Insn& b = rep_out.guards[0].code()[i];
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_EQ(a.imm, b.imm);
+  }
+
+  RevokeMsg rev;
+  rev.token = 0xdeadbeefull;
+  rev.event_name = "Vault.Op";
+  RevokeMsg rev_out;
+  ASSERT_TRUE(DecodeRevoke(EncodeRevoke(rev), &rev_out));
+  EXPECT_EQ(rev_out.token, rev.token);
+  EXPECT_EQ(rev_out.event_name, rev.event_name);
+}
+
+TEST(RemoteWireFormat, AddressedGuardsDoNotCrossTheWire) {
+  // A guard that dereferences exporter memory is meaningless in the
+  // proxy's address space: WireableGuard refuses it, and the bind-reply
+  // decoder is the matching trust boundary on the receiving side.
+  static uint64_t global = 7;
+  micro::Program addressed = micro::GuardGlobalEq(&global, 7);
+  EXPECT_FALSE(WireableGuard(addressed));
+  EXPECT_TRUE(WireableGuard(micro::ReturnConst(1, 1, /*functional=*/true)));
+
+  BindReplyMsg rep;
+  rep.status = WireStatus::kOk;
+  rep.token = 1;
+  rep.guards.push_back(addressed);
+  BindReplyMsg out;
+  EXPECT_FALSE(DecodeBindReply(EncodeBindReply(rep), &out));
 }
 
 TEST(RemoteWireFormat, ReplyRoundTrip) {
@@ -329,23 +401,33 @@ TEST_F(RemoteTest, DeadProxyFailsFastAfterRemoteUninstall) {
 
   EXPECT_EQ(client_ev.Raise(1), 2u);
   exporter_.Unexport(server_ev);
+  EXPECT_EQ(exporter_.revoked_tokens(), 1u);
+  EXPECT_EQ(exporter_.bound_clients(), 0u);
 
-  // The first raise after the uninstall learns the binding is gone from
-  // the kUnbound reply — a typed error, not a hang or a retry storm.
+  // Unexport revoked the proxy's capability and pushed a notice; the next
+  // raise pumps the simulator, the notice lands, and the raise fails with
+  // the typed kRevoked error — not a hang or a retry storm.
   try {
     client_ev.Raise(2);
-    FAIL() << "raising through a dead proxy must throw";
+    FAIL() << "raising through a revoked proxy must throw";
   } catch (const RemoteError& e) {
-    EXPECT_EQ(e.status(), RemoteStatus::kDead);
+    EXPECT_EQ(e.status(), RemoteStatus::kRevoked);
   }
   EXPECT_TRUE(proxy.dead());
+  EXPECT_TRUE(proxy.revoked());
   EXPECT_EQ(proxy.retries(), 0u);
+  EXPECT_EQ(proxy.revoke_notices(), 1u);
 
   // Subsequent raises fail fast without generating traffic.
   uint64_t frames_before = wire_.frames_offered();
-  EXPECT_THROW(client_ev.Raise(3), RemoteError);
+  try {
+    client_ev.Raise(3);
+    FAIL() << "revoked proxies must stay revoked";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.status(), RemoteStatus::kRevoked);
+  }
   EXPECT_EQ(wire_.frames_offered(), frames_before);
-  EXPECT_EQ(proxy.dead_raises(), 1u);
+  EXPECT_EQ(proxy.dead_raises(), 2u);
   EXPECT_EQ(ctx.calls, 1);
 }
 
@@ -371,6 +453,8 @@ TEST_F(RemoteTest, AsyncRaisesAreFireAndForget) {
   ProxyOptions opts = Opts(9010);
   opts.kind = RaiseKind::kAsync;
   EventProxy proxy(client_host_, &sim_, client_ev, opts);
+  // The handshake's BindReply is the only packet the client ever receives.
+  const uint64_t rx_after_bind = client_host_.rx_packets();
 
   for (uint64_t i = 1; i <= 10; ++i) {
     client_ev.Raise(i);  // marshal runs detached on the pool
@@ -382,8 +466,237 @@ TEST_F(RemoteTest, AsyncRaisesAreFireAndForget) {
   EXPECT_EQ(ctx.calls.load(), 10);
   EXPECT_EQ(ctx.sum.load(), 55u);
   EXPECT_EQ(exporter_.requests(), 10u);
-  // Fire-and-forget: the exporter never replied.
-  EXPECT_EQ(client_host_.rx_packets(), 0u);
+  EXPECT_EQ(exporter_.binds(), 1u);
+  // Fire-and-forget: the exporter never replied to a raise.
+  EXPECT_EQ(client_host_.rx_packets(), rx_after_bind);
+}
+
+// --- Install-time authorization over the wire (§2.5) -------------------------
+
+// Exporter-side authorizer: checks the wire credential, records the caller
+// identity, and optionally imposes a wireable guard on the grant.
+struct RemoteAuthState {
+  std::string expect_credential;
+  bool impose = false;
+  micro::Program guard;
+  int install_requests = 0;
+  std::string last_module;
+};
+
+bool RemoteAuthorizer(AuthRequest& request, void* ctx) {
+  auto* state = static_cast<RemoteAuthState*>(ctx);
+  if (request.op != AuthOp::kInstall) {
+    return true;
+  }
+  ++state->install_requests;
+  auto* info = static_cast<const RemoteBindInfo*>(request.credentials);
+  if (info == nullptr) {
+    return false;
+  }
+  state->last_module = info->module_name;
+  if (info->credential != state->expect_credential) {
+    return false;
+  }
+  if (state->impose) {
+    request.ImposeGuard(MakeImposedMicroGuard(state->guard));
+  }
+  return true;
+}
+
+// Guard over one by-value argument: arg0 < 100.
+micro::Program ArgBelow100() {
+  return std::move(micro::ProgramBuilder(/*num_args=*/1, /*functional=*/true)
+                       .LoadArg(0, 0)
+                       .LoadImm(1, 100)
+                       .CmpLtU(2, 0, 1)
+                       .Ret(2))
+      .Build();
+}
+
+TEST_F(RemoteTest, DeniedBindSurfacesTypedErrorAtProxy) {
+  Module authority{"Vault"};
+  Event<uint64_t(uint64_t)> server_ev("Vault.Op", &authority, nullptr,
+                                      &dispatcher_);
+  CountCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &CountingHandler, &ctx);
+  RemoteAuthState auth;
+  auth.expect_credential = "sesame";
+  dispatcher_.InstallAuthorizer(server_ev, &RemoteAuthorizer, &auth,
+                                authority);
+  exporter_.Export(server_ev);
+
+  Event<uint64_t(uint64_t)> client_ev("Vault.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  ProxyOptions bad = Opts(9101);
+  bad.credential = "wrong";
+  try {
+    EventProxy proxy(client_host_, &sim_, client_ev, bad);
+    FAIL() << "a bind the authorizer refuses must throw at the proxy";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.status(), RemoteStatus::kDenied);
+  }
+  // A denied install leaves nothing behind on either side.
+  EXPECT_EQ(client_ev.handler_count(), 0u);
+  EXPECT_EQ(exporter_.auth_denied(), 1u);
+  EXPECT_EQ(exporter_.bound_clients(), 0u);
+  EXPECT_EQ(ctx.calls, 0);
+
+  // The host's default credential is picked up when the options leave it
+  // empty, and the grant carries a nonzero capability token.
+  client_host_.SetCredential("sesame");
+  EventProxy proxy(client_host_, &sim_, client_ev, Opts(9102));
+  EXPECT_NE(proxy.token(), 0u);
+  EXPECT_EQ(client_ev.Raise(1), 2u);
+  EXPECT_EQ(auth.install_requests, 2);
+  EXPECT_EQ(auth.last_module, "Remote.Proxy.Vault.Op");
+  EXPECT_EQ(exporter_.binds(), 1u);
+  EXPECT_EQ(exporter_.bound_clients(), 1u);
+}
+
+TEST_F(RemoteTest, ImposedGuardIsEvaluatedProxySide) {
+  Module authority{"Guarded"};
+  Event<uint64_t(uint64_t)> server_ev("Guarded.Op", &authority, nullptr,
+                                      &dispatcher_);
+  CountCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &CountingHandler, &ctx);
+  RemoteAuthState auth;
+  auth.impose = true;
+  auth.guard = ArgBelow100();
+  dispatcher_.InstallAuthorizer(server_ev, &RemoteAuthorizer, &auth,
+                                authority);
+  exporter_.Export(server_ev);
+
+  Event<uint64_t(uint64_t)> client_ev("Guarded.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  EventProxy proxy(client_host_, &sim_, client_ev, Opts(9103));
+  // The imposed guard traveled back in the BindReply and sits on the
+  // proxy's local binding.
+  EXPECT_EQ(dispatcher_.GuardCount(proxy.binding()), 1u);
+
+  EXPECT_EQ(client_ev.Raise(5), 6u);  // passes the guard
+
+  // A raise the imposed guard rejects is skipped before marshaling: same
+  // observable outcome as a guarded local binding, and zero wire traffic.
+  const uint64_t frames_before = wire_.frames_offered();
+  EXPECT_THROW(client_ev.Raise(500), NoHandlerError);
+  EXPECT_EQ(wire_.frames_offered(), frames_before)
+      << "guard rejection must not cost a roundtrip";
+  EXPECT_EQ(ctx.calls, 1);
+  EXPECT_EQ(exporter_.guard_rejected(), 0u);
+}
+
+TEST_F(RemoteTest, ExporterEnforcesImposedGuardsOnRawWireTraffic) {
+  Module authority{"Guarded"};
+  Event<uint64_t(uint64_t)> server_ev("Guarded.Op", &authority, nullptr,
+                                      &dispatcher_);
+  CountCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &CountingHandler, &ctx);
+  RemoteAuthState auth;
+  auth.impose = true;
+  auth.guard = ArgBelow100();
+  dispatcher_.InstallAuthorizer(server_ev, &RemoteAuthorizer, &auth,
+                                authority);
+  exporter_.Export(server_ev);
+
+  Event<uint64_t(uint64_t)> client_ev("Guarded.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  EventProxy proxy(client_host_, &sim_, client_ev, Opts(9104));
+
+  // A caller speaking the wire protocol directly (skipping the proxy and
+  // its local guard copy) still cannot get past the authorizer's guard:
+  // the exporter re-evaluates it on every raise.
+  std::string reply_wire;
+  net::UdpSocket raw(client_host_, 9105,
+                     [&](const net::Packet& p) { reply_wire = p.UdpPayload(); });
+  RequestMsg req;
+  req.kind = RaiseKind::kSync;
+  req.request_id = 0x4242;
+  req.token = proxy.token();
+  req.event_name = "Guarded.Op";
+  req.params = {WireParam{static_cast<uint8_t>(TypeClass::kUInt64), false}};
+  req.args = {500};  // the guard says no
+  raw.SendTo(server_host_.ip(), kDefaultRemotePort, EncodeRequest(req));
+  sim_.Run();
+
+  ReplyMsg reply;
+  ASSERT_TRUE(DecodeReply(reply_wire, &reply));
+  EXPECT_EQ(reply.status, WireStatus::kGuardRejected);
+  EXPECT_EQ(exporter_.guard_rejected(), 1u);
+  EXPECT_EQ(ctx.calls, 0);
+}
+
+TEST_F(RemoteTest, RevokedTokenFailsFastWithTypedError) {
+  Module authority{"Mortal"};
+  Event<uint64_t(uint64_t)> server_ev("Mortal.Op", &authority, nullptr,
+                                      &dispatcher_);
+  CountCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &CountingHandler, &ctx);
+  exporter_.Export(server_ev);
+  Event<uint64_t(uint64_t)> client_ev("Mortal.Op", nullptr, nullptr,
+                                      &dispatcher_);
+  auto proxy = std::make_unique<EventProxy>(client_host_, &sim_, client_ev,
+                                            Opts(9106));
+  EXPECT_EQ(client_ev.Raise(1), 2u);
+  const uint64_t token = proxy->token();
+
+  // Drop the revocation notice: the proxy keeps believing it is bound, so
+  // the stale token must be caught exporter-side.
+  wire_.SetDropHook([](const net::Packet& p, uint64_t, uint64_t) {
+    return p.ip_proto() == net::kIpProtoUdp &&
+           p.src_port() == kDefaultRemotePort;
+  });
+  EXPECT_TRUE(exporter_.Revoke(token));
+  EXPECT_FALSE(exporter_.Revoke(token)) << "a token revokes once";
+  sim_.Run();
+  EXPECT_FALSE(proxy->revoked()) << "the notice was lost";
+  wire_.SetDropHook(nullptr);
+
+  try {
+    client_ev.Raise(2);
+    FAIL() << "a raise bearing a revoked token must throw";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.status(), RemoteStatus::kRevoked);
+  }
+  EXPECT_TRUE(proxy->revoked());
+  EXPECT_EQ(exporter_.revoked_raises(), 1u);
+  EXPECT_EQ(ctx.calls, 1);
+
+  // Fail-fast from now on: no traffic for raises through the dead proxy.
+  const uint64_t frames_before = wire_.frames_offered();
+  EXPECT_THROW(client_ev.Raise(3), RemoteError);
+  EXPECT_EQ(wire_.frames_offered(), frames_before);
+
+  // Re-binding mints a fresh capability and serves again.
+  proxy.reset();
+  EventProxy fresh(client_host_, &sim_, client_ev, Opts(9107));
+  EXPECT_NE(fresh.token(), 0u);
+  EXPECT_NE(fresh.token(), token);
+  EXPECT_EQ(client_ev.Raise(10), 11u);
+  EXPECT_EQ(ctx.calls, 2);
+}
+
+TEST_F(RemoteTest, RevokedAsyncProxyDropsQueuedDatagrams) {
+  Event<void(uint64_t)> server_ev("Async.Mortal", nullptr, nullptr,
+                                  &dispatcher_);
+  SumCtx ctx;
+  dispatcher_.InstallHandler(server_ev, &SumHandler, &ctx);
+  exporter_.Export(server_ev);
+  Event<void(uint64_t)> client_ev("Async.Mortal", nullptr, nullptr,
+                                  &dispatcher_);
+  ProxyOptions opts = Opts(9108);
+  opts.kind = RaiseKind::kAsync;
+  EventProxy proxy(client_host_, &sim_, client_ev, opts);
+
+  for (uint64_t i = 1; i <= 3; ++i) {
+    client_ev.Raise(i);
+  }
+  dispatcher_.pool().Drain();
+  EXPECT_TRUE(exporter_.Revoke(proxy.token()));
+  sim_.Run();  // the revocation notice lands before anything is flushed
+  EXPECT_TRUE(proxy.revoked());
+  EXPECT_EQ(proxy.Flush(), 0u) << "a revoked proxy generates no traffic";
+  sim_.Run();
+  EXPECT_EQ(ctx.calls.load(), 0);
 }
 
 // --- Determinism and observability -------------------------------------------
