@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/dispatcher.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -56,6 +57,20 @@ spin::bench::LatencyStats StatsTenHandlers(
   return WithTenHandlers(config, [](auto& event) {
     return spin::bench::NsPerOpStats([&] { event.Raise(7); },
                                      /*samples=*/10000);
+  });
+}
+
+// The same workload with the flight recorder + span propagation live:
+// every raise opens a span and writes begin/end + per-handler records.
+spin::bench::LatencyStats StatsTenHandlersTraced(
+    const spin::Dispatcher::Config& config) {
+  spin::obs::FlightRecorder::Global().Reset();
+  return WithTenHandlers(config, [](auto& event) {
+    event.owner().EnableTracing(true);
+    auto stats = spin::bench::NsPerOpStats([&] { event.Raise(7); },
+                                           /*samples=*/10000);
+    event.owner().EnableTracing(false);
+    return stats;
   });
 }
 
@@ -164,11 +179,22 @@ int main() {
   std::printf("expected shape: each mechanism removes measurable cost; "
               "interpreter is the slowest arm\n");
 
+  spin::bench::LatencyStats tracing_off = StatsTenHandlers(full);
+  spin::bench::LatencyStats tracing_on = StatsTenHandlersTraced(full);
+  std::printf("\ncausal tracing (flight recorder + span propagation, same "
+              "10-handler workload):\n");
+  std::printf("  %-40s %8llu ns p50\n", "tracing off",
+              static_cast<unsigned long long>(tracing_off.p50_ns));
+  std::printf("  %-40s %8llu ns p50\n", "tracing on",
+              static_cast<unsigned long long>(tracing_on.p50_ns));
+
   std::printf("\nlatency distributions (JSON, 1 row per case):\n");
   spin::bench::JsonRow("ablation", "ten_handlers_full", StatsTenHandlers(full));
   spin::bench::JsonRow("ablation", "ten_handlers_no_inline",
                        StatsTenHandlers(no_inline));
   spin::bench::JsonRow("ablation", "ten_handlers_interp",
                        StatsTenHandlers(interp));
+  spin::bench::JsonRow("ablation", "ten_handlers_tracing_off", tracing_off);
+  spin::bench::JsonRow("ablation", "ten_handlers_tracing_on", tracing_on);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "src/core/dispatch_state.h"
 
 #include <array>
+#include <optional>
 
 #include "src/core/dispatcher.h"
 #include "src/core/ephemeral.h"
@@ -58,15 +59,23 @@ uint64_t Fold(const DispatchTable& table, uint64_t result, uint64_t current,
 
 void ScheduleAsyncBinding(const DispatchTable& table,
                           const BindingHandle& binding,
-                          const RaiseFrame& frame, int num_args) {
+                          const RaiseFrame& frame, int num_args,
+                          const obs::TraceContext& span_ctx) {
   std::array<uint64_t, kMaxEventArgs> slots{};
   for (int i = 0; i < num_args; ++i) {
     slots[i] = frame.args[i];
   }
   uint64_t budget = table.ephemeral_budget_ns;
   table.pool->Submit(
-      [binding, slots, budget]() mutable {
+      [binding, slots, budget, span_ctx]() mutable {
         bool tracing = obs::Enabled();
+        // Adopt the span the enqueue site allocated for this handoff so
+        // kAsyncEnqueue (raising thread) and kAsyncExecute (this thread)
+        // stitch; this scope is the span's final executor.
+        std::optional<obs::SpanScope> span;
+        if (tracing && span_ctx.span != 0) {
+          span.emplace(span_ctx, /*complete_on_exit=*/true);
+        }
         uint64_t start = tracing ? NowNs() : 0;
         if (tracing) {
           obs::FlightRecorder::Global().EmitAt(
@@ -193,11 +202,17 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
       }
       continue;
     }
+    obs::TraceContext span_ctx{};
     if (tracing) {
-      obs::FlightRecorder::Global().Emit(obs::TraceKind::kAsyncEnqueue,
-                                         event.obs_name(), i);
+      // Pre-allocate the handoff's span here so the enqueue record can
+      // announce it (the flow start) before the pool thread exists.
+      const obs::TraceContext& cur = obs::CurrentContext();
+      span_ctx = obs::TraceContext{obs::NewSpanId(), cur.span, cur.host};
+      obs::FlightRecorder::Global().EmitWith(
+          obs::TraceKind::kAsyncEnqueue, event.obs_name(), NowNs(), i,
+          span_ctx.span, span_ctx.parent);
     }
-    ScheduleAsyncBinding(table, binding, frame, num_args);
+    ScheduleAsyncBinding(table, binding, frame, num_args, span_ctx);
     ++frame.fired;
   }
 
@@ -220,7 +235,12 @@ void EventBase::RaiseErased(RaiseFrame& frame) {
   const bool tracing = obs::Enabled();
   const bool timed = tracing || dispatcher.profiling();
   uint64_t start = timed ? NowNs() : 0;
+  // Every traced dispatch is a span: a top-level raise opens a root, a
+  // raise from inside a handler opens a child of the enclosing span. The
+  // scope closes by RAII, so an escaping exception still completes it.
+  std::optional<obs::SpanScope> span;
   if (tracing) {
+    span.emplace();
     obs::FlightRecorder::Global().EmitAt(obs::TraceKind::kRaiseBegin,
                                          obs_name_, start);
   }
@@ -261,13 +281,23 @@ void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
     pool = table->pool;
     mode = table->async_mode;
   }
+  obs::TraceContext span_ctx{};
   if (obs::Enabled()) {
-    obs::FlightRecorder::Global().Emit(obs::TraceKind::kAsyncEnqueue,
-                                       obs_name_);
+    const obs::TraceContext& cur = obs::CurrentContext();
+    span_ctx = obs::TraceContext{obs::NewSpanId(), cur.span, cur.host};
+    obs::FlightRecorder::Global().EmitWith(obs::TraceKind::kAsyncEnqueue,
+                                           obs_name_, NowNs(), 0,
+                                           span_ctx.span, span_ctx.parent);
   }
   RaiseFrame copy = frame;
   pool->Submit(
-      [this, copy]() mutable {
+      [this, copy, span_ctx]() mutable {
+        std::optional<obs::SpanScope> span;
+        if (obs::Enabled() && span_ctx.span != 0) {
+          span.emplace(span_ctx, /*complete_on_exit=*/true);
+          obs::FlightRecorder::Global().Emit(obs::TraceKind::kAsyncExecute,
+                                             obs_name_);
+        }
         try {
           RaiseErased(copy);
         } catch (const DispatchError&) {

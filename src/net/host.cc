@@ -1,8 +1,11 @@
 #include "src/net/host.h"
 
+#include <optional>
 #include <ostream>
 
+#include "src/obs/context.h"
 #include "src/obs/export.h"
+#include "src/obs/obs.h"
 #include "src/rt/panic.h"
 
 namespace spin {
@@ -102,6 +105,7 @@ Host::Host(std::string name, uint32_t ip, Dispatcher* dispatcher)
       ip_(ip),
       dispatcher_(dispatcher),
       module_("Net." + name_) {
+  trace_host_id_ = obs::RegisterTraceHost(name_);
   for (EventBase* event : std::initializer_list<EventBase*>{
            &EtherPacketArrived, &IpPacketArrived, &UdpPacketArrived,
            &TcpPacketArrived}) {
@@ -212,6 +216,14 @@ void Host::Transmit(const Packet& packet) {
 
 void Host::Receive(Packet packet) {
   ++rx_;
+  // Everything the delivery triggers — the packet-event chain, socket
+  // callbacks, an Exporter dispatch — is this host's work; stamp its trace
+  // records with the host identity so each sim host gets its own process
+  // row in the exported trace.
+  std::optional<obs::HostScope> host_scope;
+  if (obs::Enabled()) {
+    host_scope.emplace(trace_host_id_);
+  }
   (void)EtherPacketArrived.Raise(&packet);
 }
 

@@ -105,6 +105,10 @@ class Host {
 
   const std::string& host_name() const { return name_; }
   uint32_t ip() const { return ip_; }
+  // This host's identity in flight-recorder traces (obs::RegisterTraceHost):
+  // records emitted while the host processes traffic carry it, and
+  // WriteChromeTrace renders one process row per host id.
+  uint32_t trace_host_id() const { return trace_host_id_; }
   Dispatcher& dispatcher() { return *dispatcher_; }
   const Module& module() const { return module_; }
   Module& module() { return module_; }
@@ -161,6 +165,7 @@ class Host {
 
   std::string name_;
   uint32_t ip_;
+  uint32_t trace_host_id_ = 0;
   Dispatcher* dispatcher_;
   Module module_;
   std::string credential_;

@@ -1,0 +1,120 @@
+#include "src/obs/context.h"
+
+#include <atomic>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace spin {
+namespace obs {
+namespace {
+
+thread_local TraceContext t_context;
+
+std::atomic<uint64_t> g_next_span{1};
+std::atomic<uint64_t> g_spans_started{0};
+std::atomic<uint64_t> g_spans_completed{0};
+std::atomic<uint64_t> g_cross_host_spans{0};
+std::atomic<uint64_t> g_orphan_records{0};
+
+// Host registry: ids are dense and 1-based; names are interned so
+// TraceHostName never dangles. Guarded by the obs spinlock-style flag.
+struct HostRegistry {
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+  std::vector<const char*> names;  // index = host id - 1
+
+  void Lock() {
+    while (lock.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() { lock.clear(std::memory_order_release); }
+};
+
+HostRegistry& Hosts() {
+  static HostRegistry* registry = new HostRegistry();  // leaked
+  return *registry;
+}
+
+}  // namespace
+
+const TraceContext& CurrentContext() { return t_context; }
+
+TraceContext& internal::MutableContext() { return t_context; }
+
+uint64_t NewSpanId() {
+  g_spans_started.fetch_add(1, std::memory_order_relaxed);
+  return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanScope::SpanScope() : saved_(t_context), complete_(true) {
+  span_ = NewSpanId();
+  t_context.parent = saved_.span;
+  t_context.span = span_;
+}
+
+SpanScope::SpanScope(const TraceContext& ctx, bool complete_on_exit)
+    : saved_(t_context), span_(ctx.span), complete_(complete_on_exit) {
+  t_context = ctx;
+}
+
+SpanScope::~SpanScope() {
+  if (complete_ && span_ != 0) {
+    g_spans_completed.fetch_add(1, std::memory_order_relaxed);
+  }
+  t_context = saved_;
+}
+
+HostScope::HostScope(uint32_t host) : saved_(t_context.host) {
+  t_context.host = host;
+}
+
+HostScope::~HostScope() { t_context.host = saved_; }
+
+uint32_t RegisterTraceHost(const std::string& name) {
+  const char* interned = Intern(name);
+  HostRegistry& hosts = Hosts();
+  hosts.Lock();
+  hosts.names.push_back(interned);
+  uint32_t id = static_cast<uint32_t>(hosts.names.size());
+  hosts.Unlock();
+  return id;
+}
+
+const char* TraceHostName(uint32_t host) {
+  if (host == 0) {
+    return "local";
+  }
+  HostRegistry& hosts = Hosts();
+  hosts.Lock();
+  const char* name =
+      host <= hosts.names.size() ? hosts.names[host - 1] : "local";
+  hosts.Unlock();
+  return name;
+}
+
+SpanStats GetSpanStats() {
+  SpanStats stats;
+  stats.started = g_spans_started.load(std::memory_order_relaxed);
+  stats.completed = g_spans_completed.load(std::memory_order_relaxed);
+  stats.cross_host = g_cross_host_spans.load(std::memory_order_relaxed);
+  stats.orphans = g_orphan_records.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetSpanStats() {
+  g_spans_started.store(0, std::memory_order_relaxed);
+  g_spans_completed.store(0, std::memory_order_relaxed);
+  g_cross_host_spans.store(0, std::memory_order_relaxed);
+  g_orphan_records.store(0, std::memory_order_relaxed);
+}
+
+void CountCrossHostSpan() {
+  g_cross_host_spans.fetch_add(1, std::memory_order_relaxed);
+}
+
+void internal::CountOrphanRecord() {
+  g_orphan_records.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace spin

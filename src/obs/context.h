@@ -1,0 +1,110 @@
+// Causal trace context: the span active on the current thread.
+//
+// A span is one logical unit of causally-connected work. Every traced
+// dispatch (EventBase::RaiseErased) opens a span; a raise made from inside
+// a handler opens a *child* span, an async handoff pre-allocates the child
+// span at enqueue time and the pool thread adopts it, and a remote raise
+// carries its span id across the wire so the exporter-side dispatch joins
+// the same tree. Flight-recorder records are stamped with the active
+// (span, parent) pair plus the simulated-host identity, which is what lets
+// Snapshot()/TraceQuery reassemble "what did raise #N actually cause"
+// across threads and hosts.
+//
+// Everything here is tracing-path-only: the dispatcher consults this file
+// solely under obs::Enabled(), so the tracing-off raise cost is unchanged.
+#ifndef SRC_OBS_CONTEXT_H_
+#define SRC_OBS_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spin {
+namespace obs {
+
+// The causal context records are stamped with. span == 0 means "no span
+// active" (the record is an orphan); host == 0 means "no simulated host"
+// (plain local work).
+struct TraceContext {
+  uint64_t span = 0;    // active span id
+  uint64_t parent = 0;  // the active span's parent (0 = root span)
+  uint32_t host = 0;    // RegisterTraceHost id of the active sim host
+};
+
+// The context active on this thread. Mutate only through the scopes below.
+const TraceContext& CurrentContext();
+
+// Allocates a fresh process-unique span id (never 0) and counts it as
+// started. The caller is responsible for eventually counting it completed
+// (SpanScope does both ends automatically).
+uint64_t NewSpanId();
+
+// RAII span entry/exit. The default constructor opens a child of whatever
+// span is active (a root span when none is); the adopting constructor
+// installs a context produced elsewhere — an async enqueue site or a
+// decoded wire frame — and counts the span completed on exit only when the
+// adopter owns that end of its lifetime.
+class SpanScope {
+ public:
+  // Opens a new span as a child of the current one.
+  SpanScope();
+  // Adopts `ctx` verbatim. complete_on_exit: this scope is the span's final
+  // executor (an async pool body), not a visitor (an exporter dispatch).
+  SpanScope(const TraceContext& ctx, bool complete_on_exit);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  uint64_t span() const { return span_; }
+
+ private:
+  TraceContext saved_;
+  uint64_t span_ = 0;
+  bool complete_ = false;
+};
+
+// RAII simulated-host identity for records emitted on this thread. Leaves
+// the active span untouched.
+class HostScope {
+ public:
+  explicit HostScope(uint32_t host);
+  ~HostScope();
+  HostScope(const HostScope&) = delete;
+  HostScope& operator=(const HostScope&) = delete;
+
+ private:
+  uint32_t saved_ = 0;
+};
+
+// Registers a simulated host for trace attribution; returns a dense
+// nonzero id, stable for the process lifetime. Thread-safe.
+uint32_t RegisterTraceHost(const std::string& name);
+
+// The registered name for a host id ("local" for 0 or unknown ids). The
+// returned pointer never dangles.
+const char* TraceHostName(uint32_t host);
+
+// Span accounting, exported as spin_trace_* by ExportMetrics.
+struct SpanStats {
+  uint64_t started = 0;     // NewSpanId allocations
+  uint64_t completed = 0;   // spans whose final executor exited
+  uint64_t cross_host = 0;  // wire-carried spans dispatched on another host
+  uint64_t orphans = 0;     // records emitted with no active span
+};
+SpanStats GetSpanStats();
+void ResetSpanStats();
+
+// Counts a span that arrived over the wire from a different host
+// (exporter-side, once per fresh dispatch).
+void CountCrossHostSpan();
+
+namespace internal {
+// Called by FlightRecorder::EmitAt for records stamped with span 0.
+void CountOrphanRecord();
+// Mutable access for the scopes; not part of the public surface.
+TraceContext& MutableContext();
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace spin
+
+#endif  // SRC_OBS_CONTEXT_H_

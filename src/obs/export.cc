@@ -2,7 +2,9 @@
 
 #include <vector>
 
+#include "src/obs/context.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 
 namespace spin {
 namespace obs {
@@ -137,6 +139,24 @@ void ExportMetrics(std::ostream& os) {
       WriteSummarySeries(os, agg.name, "all", all);
     }
   }
+
+  // Flight-recorder health and span accounting. Overwrites flag a
+  // truncated capture window; orphans are records emitted outside any
+  // span.
+  os << "# HELP spin_trace_overwrites_total Flight-recorder records lost "
+        "to ring wraparound since the last reset.\n";
+  os << "# TYPE spin_trace_overwrites_total counter\n";
+  os << "spin_trace_overwrites_total{recorder=\"global\"} "
+     << FlightRecorder::Global().TotalOverwrites() << "\n";
+  SpanStats spans = GetSpanStats();
+  os << "spin_trace_spans_started_total{recorder=\"global\"} "
+     << spans.started << "\n";
+  os << "spin_trace_spans_completed_total{recorder=\"global\"} "
+     << spans.completed << "\n";
+  os << "spin_trace_cross_host_spans_total{recorder=\"global\"} "
+     << spans.cross_host << "\n";
+  os << "spin_trace_orphan_records_total{recorder=\"global\"} "
+     << spans.orphans << "\n";
 
   // External sources (dispatchers, and whatever embedders add).
   SourceList& list = Sources();

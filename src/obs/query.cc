@@ -1,0 +1,104 @@
+#include "src/obs/query.h"
+
+#include <algorithm>
+
+namespace spin {
+namespace obs {
+
+TraceQuery::TraceQuery(std::vector<MergedRecord> records)
+    : records_(std::move(records)) {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const MergedRecord& a, const MergedRecord& b) {
+                     if (a.rec.ts_ns != b.rec.ts_ns) {
+                       return a.rec.ts_ns < b.rec.ts_ns;
+                     }
+                     return a.tid < b.tid;
+                   });
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const TraceRecord& rec = records_[i].rec;
+    if (rec.span == 0) {
+      ++orphans_;
+      continue;
+    }
+    by_span_[rec.span].push_back(i);
+    // The first record of a span carries its parent link; exporter-side
+    // records of a wire-carried span may not know the parent (they stamp
+    // 0), so keep the first *nonzero* link seen.
+    auto it = parent_.find(rec.span);
+    if (it == parent_.end()) {
+      parent_[rec.span] = rec.parent;
+    } else if (it->second == 0 && rec.parent != 0) {
+      it->second = rec.parent;
+    }
+  }
+  for (const auto& [span, parent] : parent_) {
+    if (parent != 0) {
+      children_[parent].push_back(span);
+    }
+  }
+  for (auto& [span, kids] : children_) {
+    std::sort(kids.begin(), kids.end());
+  }
+}
+
+void TraceQuery::Collect(uint64_t span,
+                         std::vector<MergedRecord>* out) const {
+  auto it = by_span_.find(span);
+  if (it != by_span_.end()) {
+    for (size_t index : it->second) {
+      out->push_back(records_[index]);
+    }
+  }
+  auto kids = children_.find(span);
+  if (kids != children_.end()) {
+    for (uint64_t child : kids->second) {
+      Collect(child, out);
+    }
+  }
+}
+
+std::vector<MergedRecord> TraceQuery::SpanTree(uint64_t span) const {
+  std::vector<MergedRecord> out;
+  Collect(span, &out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MergedRecord& a, const MergedRecord& b) {
+                     if (a.rec.ts_ns != b.rec.ts_ns) {
+                       return a.rec.ts_ns < b.rec.ts_ns;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+std::vector<uint64_t> TraceQuery::Roots() const {
+  std::vector<uint64_t> roots;
+  for (const auto& [span, parent] : parent_) {
+    if (parent == 0 || parent_.find(parent) == parent_.end()) {
+      roots.push_back(span);
+    }
+  }
+  return roots;
+}
+
+std::vector<uint64_t> TraceQuery::Children(uint64_t span) const {
+  auto it = children_.find(span);
+  return it != children_.end() ? it->second : std::vector<uint64_t>{};
+}
+
+uint64_t TraceQuery::ParentOf(uint64_t span) const {
+  auto it = parent_.find(span);
+  return it != parent_.end() ? it->second : 0;
+}
+
+std::vector<uint64_t> TraceQuery::Spans() const {
+  std::vector<uint64_t> spans;
+  spans.reserve(by_span_.size());
+  for (const auto& [span, indices] : by_span_) {
+    (void)indices;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+}  // namespace obs
+}  // namespace spin

@@ -1,0 +1,60 @@
+// Span-tree queries over a flight-recorder snapshot.
+//
+// A TraceQuery indexes a merged timeline by span id and parent links so a
+// test (or a debugging session) can ask "what did this raise actually
+// cause" — the span's own records plus everything transitively hung off it
+// through child raises, async handoffs, and wire crossings — as one
+// timestamp-ordered list.
+//
+// The index is built once from an immutable snapshot; queries never touch
+// the live recorder.
+#ifndef SRC_OBS_QUERY_H_
+#define SRC_OBS_QUERY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace spin {
+namespace obs {
+
+class TraceQuery {
+ public:
+  explicit TraceQuery(std::vector<MergedRecord> records);
+
+  // Every record of `span` and of all its descendants, ordered by
+  // (timestamp, tid). Empty when the span is unknown.
+  std::vector<MergedRecord> SpanTree(uint64_t span) const;
+
+  // Span ids whose parent is 0 or absent from the snapshot (the parent's
+  // records were overwritten or never captured), ascending.
+  std::vector<uint64_t> Roots() const;
+
+  // Direct children of `span`, ascending.
+  std::vector<uint64_t> Children(uint64_t span) const;
+
+  // The parent span id (0 when the span is a root or unknown).
+  uint64_t ParentOf(uint64_t span) const;
+
+  // All distinct span ids in the snapshot, ascending.
+  std::vector<uint64_t> Spans() const;
+
+  // Records stamped with span 0 — emitted outside any span.
+  size_t orphan_records() const { return orphans_; }
+
+ private:
+  void Collect(uint64_t span, std::vector<MergedRecord>* out) const;
+
+  std::vector<MergedRecord> records_;              // sorted by (ts, tid)
+  std::map<uint64_t, std::vector<size_t>> by_span_;  // span -> record index
+  std::map<uint64_t, uint64_t> parent_;            // span -> parent span
+  std::map<uint64_t, std::vector<uint64_t>> children_;
+  size_t orphans_ = 0;
+};
+
+}  // namespace obs
+}  // namespace spin
+
+#endif  // SRC_OBS_QUERY_H_

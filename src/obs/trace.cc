@@ -96,9 +96,17 @@ const char* TraceKindName(TraceKind kind) {
       return "remote_bind";
     case TraceKind::kRemoteRevoke:
       return "remote_revoke";
+    case TraceKind::kRemoteDispatch:
+      return "remote_dispatch";
   }
   return "unknown";
 }
+
+// A new TraceKind must bump kNumTraceKinds (and the unit test then insists
+// TraceKindName knows it).
+static_assert(static_cast<size_t>(TraceKind::kRemoteDispatch) + 1 ==
+                  kNumTraceKinds,
+              "kNumTraceKinds must track the TraceKind enum");
 
 FlightRecorder& FlightRecorder::Global() {
   static FlightRecorder* recorder = new FlightRecorder();  // leaked
@@ -133,15 +141,34 @@ void FlightRecorder::Emit(TraceKind kind, const char* name, uint64_t arg) {
 
 void FlightRecorder::EmitAt(TraceKind kind, const char* name, uint64_t ts_ns,
                             uint64_t arg) {
+  const TraceContext& ctx = CurrentContext();
+  EmitWith(kind, name, ts_ns, arg, ctx.span, ctx.parent);
+}
+
+void FlightRecorder::EmitWith(TraceKind kind, const char* name,
+                              uint64_t ts_ns, uint64_t arg, uint64_t span,
+                              uint64_t parent) {
   if (!Enabled()) {
     return;
   }
+  if (span == 0) {
+    internal::CountOrphanRecord();
+  }
   Ring* ring = ThreadRing();
   uint64_t h = ring->head.load(std::memory_order_relaxed);
+  if (h >= ring->slots.size()) {
+    // Single writer: a plain load/store pair beats a locked add.
+    ring->overwrites.store(
+        ring->overwrites.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
   TraceRecord& slot = ring->slots[h & ring->mask];
   slot.ts_ns = ts_ns;
   slot.name = name;
   slot.arg = arg;
+  slot.span = span;
+  slot.parent = parent;
+  slot.host = CurrentContext().host;
   slot.kind = kind;
   ring->head.store(h + 1, std::memory_order_release);
 }
@@ -175,6 +202,7 @@ void FlightRecorder::Reset(size_t capacity) {
   for (Ring* ring = rings_.load(std::memory_order_acquire); ring != nullptr;
        ring = ring->next) {
     ring->head.store(0, std::memory_order_relaxed);
+    ring->overwrites.store(0, std::memory_order_relaxed);
     if (ring->slots.size() != cap) {
       ring->slots.assign(cap, TraceRecord{});
       ring->mask = cap - 1;
@@ -182,16 +210,68 @@ void FlightRecorder::Reset(size_t capacity) {
   }
 }
 
+uint64_t FlightRecorder::TotalOverwrites() const {
+  uint64_t total = 0;
+  for (Ring* ring = rings_.load(std::memory_order_acquire); ring != nullptr;
+       ring = ring->next) {
+    total += ring->overwrites.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+namespace {
+
+// Which flow point (if any) a record contributes to the span-keyed flow:
+// "s" starts it at the handoff source, "t" steps it where the work landed
+// on another host, "f" finishes it at the final executor / reply join.
+const char* FlowPhase(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kAsyncEnqueue:
+    case TraceKind::kRemoteSend:
+      return "s";
+    case TraceKind::kRemoteDispatch:
+    case TraceKind::kRemoteDedup:
+      return "t";
+    case TraceKind::kAsyncExecute:
+    case TraceKind::kRemoteReply:
+      return "f";
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
 void WriteChromeTrace(std::ostream& os,
                       const std::vector<MergedRecord>& records) {
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
   char buf[64];
-  for (const MergedRecord& m : records) {
+  auto sep = [&os, &first] {
     if (!first) {
       os << ",";
     }
     first = false;
+  };
+
+  // One process row per simulated host present in the timeline.
+  std::vector<uint32_t> hosts;
+  for (const MergedRecord& m : records) {
+    if (std::find(hosts.begin(), hosts.end(), m.rec.host) == hosts.end()) {
+      hosts.push_back(m.rec.host);
+    }
+  }
+  std::sort(hosts.begin(), hosts.end());
+  for (uint32_t host : hosts) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << host
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    JsonEscape(os, TraceHostName(host));
+    os << "\"}}";
+  }
+
+  for (const MergedRecord& m : records) {
+    sep();
     const char* name = m.rec.name != nullptr ? m.rec.name : "?";
     os << "{\"name\":\"";
     JsonEscape(os, name);
@@ -208,8 +288,24 @@ void WriteChromeTrace(std::ostream& os,
     }
     std::snprintf(buf, sizeof(buf), "%.3f",
                   static_cast<double>(m.rec.ts_ns) / 1e3);
-    os << ",\"ts\":" << buf << ",\"pid\":1,\"tid\":" << m.tid
-       << ",\"args\":{\"arg\":" << m.rec.arg << "}}";
+    os << ",\"ts\":" << buf << ",\"pid\":" << m.rec.host
+       << ",\"tid\":" << m.tid << ",\"args\":{\"arg\":" << m.rec.arg;
+    if (m.rec.span != 0) {
+      os << ",\"span\":" << m.rec.span << ",\"parent\":" << m.rec.parent;
+    }
+    os << "}}";
+
+    // Span-keyed flow event linking handoffs across threads and hosts.
+    const char* flow = FlowPhase(m.rec.kind);
+    if (flow != nullptr && m.rec.span != 0) {
+      sep();
+      os << "{\"name\":\"span\",\"cat\":\"span\",\"ph\":\"" << flow << "\"";
+      if (*flow == 'f') {
+        os << ",\"bp\":\"e\"";
+      }
+      os << ",\"id\":" << m.rec.span << ",\"ts\":" << buf
+         << ",\"pid\":" << m.rec.host << ",\"tid\":" << m.tid << "}";
+    }
   }
   os << "]}";
 }

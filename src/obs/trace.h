@@ -20,6 +20,7 @@
 #include <ostream>
 #include <vector>
 
+#include "src/obs/context.h"
 #include "src/obs/obs.h"
 
 namespace spin {
@@ -50,13 +51,24 @@ enum class TraceKind : uint8_t {
                    // (0 = denied by the exporter's authorizer)
   kRemoteRevoke,   // capability token revoked / revocation received;
                    // arg = the token
+  kRemoteDispatch,  // exporter accepted a wire-carried raise and is about
+                    // to dispatch it; arg = request id
 };
+
+// Count sentinel for exhaustiveness checks: must equal the number of
+// TraceKind enumerators. trace.cc static_asserts that it tracks the enum;
+// the unit test asserts every kind below it has a real name.
+inline constexpr size_t kNumTraceKinds = 22;
+
 const char* TraceKindName(TraceKind kind);
 
 struct TraceRecord {
   uint64_t ts_ns = 0;
   const char* name = nullptr;  // interned; never dangles
   uint64_t arg = 0;
+  uint64_t span = 0;    // causal span the record belongs to (0 = orphan)
+  uint64_t parent = 0;  // the span's parent span (0 = root)
+  uint32_t host = 0;    // RegisterTraceHost id (0 = no host context)
   TraceKind kind = TraceKind::kRaiseBegin;
 };
 
@@ -78,8 +90,16 @@ class FlightRecorder {
 
   // Appends a record with an explicit timestamp (used when the caller
   // already read the clock, and by tests for deterministic ordering).
+  // Records are stamped with the thread's current TraceContext.
   void EmitAt(TraceKind kind, const char* name, uint64_t ts_ns,
               uint64_t arg = 0);
+
+  // Appends a record with an explicit (span, parent) pair instead of the
+  // thread's active span — the handoff records (kAsyncEnqueue, the flushed
+  // kRemoteSend) describe a span other than the one they run under. The
+  // host stamp still comes from the current context.
+  void EmitWith(TraceKind kind, const char* name, uint64_t ts_ns,
+                uint64_t arg, uint64_t span, uint64_t parent);
 
   // Merges every thread's ring into one timeline ordered by timestamp
   // (ties broken by thread id). Callers should quiesce emitters first for
@@ -95,11 +115,19 @@ class FlightRecorder {
     return capacity_.load(std::memory_order_relaxed);
   }
 
+  // Records lost to ring wraparound since the last Reset, summed over all
+  // threads. A nonzero value means the capture window was too small for
+  // the traffic — the trace is truncated, not complete.
+  uint64_t TotalOverwrites() const;
+
  private:
   struct Ring {
     uint32_t tid = 0;
     size_t mask = 0;
     std::atomic<uint64_t> head{0};
+    // Single-writer count of slots overwritten before ever being
+    // snapshotted (every emit past the first `capacity` ones).
+    std::atomic<uint64_t> overwrites{0};
     std::vector<TraceRecord> slots;
     Ring* next = nullptr;
   };
@@ -114,8 +142,13 @@ class FlightRecorder {
 };
 
 // Serializes a merged timeline as Chrome trace-event JSON ("traceEvents"
-// array form). RaiseBegin/RaiseEnd become B/E duration events; everything
-// else becomes a thread-scoped instant event.
+// array form), loadable in Perfetto. RaiseBegin/RaiseEnd become B/E
+// duration events; everything else becomes a thread-scoped instant event.
+// Each simulated host gets its own process row (pid = host id, named via
+// process_name metadata), and span handoffs are linked with flow events
+// keyed by the span id: kAsyncEnqueue/kRemoteSend start a flow,
+// kRemoteDispatch/kRemoteDedup step it, kAsyncExecute/kRemoteReply finish
+// it.
 void WriteChromeTrace(std::ostream& os,
                       const std::vector<MergedRecord>& records);
 

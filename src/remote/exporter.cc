@@ -1,12 +1,14 @@
 #include "src/remote/exporter.h"
 
 #include <exception>
+#include <optional>
 #include <ostream>
 #include <utility>
 
 #include "src/codegen/frame.h"
 #include "src/core/dispatch_state.h"
 #include "src/core/dispatcher.h"
+#include "src/obs/context.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
 
@@ -137,6 +139,18 @@ void Exporter::OnDatagram(const net::Packet& packet) {
   }
   ++requests_;
 
+  // Join the raiser's span: while this request is deduped or dispatched —
+  // including every raise the dispatch triggers — records carry the wire
+  // span from the request trailer, so the exporter side of the roundtrip
+  // lands in the originating span tree. Adoption does not complete the
+  // span; it belongs to the raiser.
+  std::optional<obs::SpanScope> span_scope;
+  if (obs::Enabled() && request.span_id != 0) {
+    span_scope.emplace(
+        obs::TraceContext{request.span_id, 0, host_.trace_host_id()},
+        /*complete_on_exit=*/false);
+  }
+
   DedupKey key{packet.ip_src(), packet.src_port(),
                static_cast<uint8_t>(MsgType::kRequest), request.token,
                request.request_id};
@@ -151,6 +165,14 @@ void Exporter::OnDatagram(const net::Packet& packet) {
     return;  // at-most-once: the event does not raise again
   }
 
+  if (span_scope) {
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteDispatch,
+                                       obs::Intern(request.event_name),
+                                       request.request_id);
+    if (request.origin_host != host_.trace_host_id()) {
+      obs::CountCrossHostSpan();
+    }
+  }
   ReplyMsg reply = Dispatch(request);
   std::string encoded = EncodeReply(reply);
   cache_reply(key, std::move(encoded));

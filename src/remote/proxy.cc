@@ -1,12 +1,15 @@
 #include "src/remote/proxy.h"
 
 #include <algorithm>
+#include <optional>
 #include <ostream>
 #include <utility>
 
 #include "src/core/errors.h"
+#include "src/obs/context.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
+#include "src/rt/clock.h"
 
 namespace spin {
 namespace remote {
@@ -53,6 +56,7 @@ EventProxy::EventProxy(net::Host& host, sim::Simulator* sim,
   std::vector<micro::Program> imposed = BindHandshake();
 
   InstallOptions install;
+  install.order = opts_.order;
   install.module = &module_;
   install.async = opts_.kind == RaiseKind::kAsync;
   binding_ = host_.dispatcher().InstallErasedHandler(event_, this,
@@ -170,6 +174,17 @@ uint64_t EventProxy::RaiseSync(uint64_t* slots) {
         event_.name());
   }
 
+  // The whole roundtrip — marshal, sends, retries, the reply join — runs
+  // under one wire span, a child of the raising span, attributed to this
+  // host. The span id travels in the request trailer so the exporter-side
+  // records join the same tree.
+  std::optional<obs::HostScope> host_scope;
+  std::optional<obs::SpanScope> wire_scope;
+  if (obs::Enabled()) {
+    host_scope.emplace(host_.trace_host_id());
+    wire_scope.emplace();
+  }
+
   RequestMsg request;
   request.kind = RaiseKind::kSync;
   request.request_id = next_id_++;
@@ -187,6 +202,10 @@ uint64_t EventProxy::RaiseSync(uint64_t* slots) {
     } else {
       request.args.push_back(slots[i]);
     }
+  }
+  if (wire_scope) {
+    request.span_id = wire_scope->span();
+    request.origin_host = host_.trace_host_id();
   }
   std::string encoded = EncodeRequest(request);
   obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteMarshal,
@@ -264,6 +283,15 @@ void EventProxy::EnqueueAsync(const uint64_t* slots) {
   request.event_name = event_.name();
   request.params = plan_.params;
   request.args.assign(slots, slots + plan_.params.size());
+  // Fire-and-forget still gets a wire span: a child of the raising (pool
+  // thread's) span, announced by the marshal record here, flow-started by
+  // Flush()'s kRemoteSend, and joined exporter-side via the trailer.
+  std::optional<obs::SpanScope> wire_scope;
+  if (obs::Enabled()) {
+    wire_scope.emplace();
+    request.span_id = wire_scope->span();
+    request.origin_host = host_.trace_host_id();
+  }
   {
     std::lock_guard<std::mutex> lock(outbox_mu_);
     request.request_id = next_id_++;
@@ -271,12 +299,12 @@ void EventProxy::EnqueueAsync(const uint64_t* slots) {
     std::string encoded = EncodeRequest(request);
     obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteMarshal,
                                        obs_name_, encoded.size());
-    outbox_.push_back(std::move(encoded));
+    outbox_.push_back(OutboxEntry{std::move(encoded), request.span_id});
   }
 }
 
 size_t EventProxy::Flush() {
-  std::deque<std::string> drained;
+  std::deque<OutboxEntry> drained;
   {
     std::lock_guard<std::mutex> lock(outbox_mu_);
     drained.swap(outbox_);
@@ -286,10 +314,20 @@ size_t EventProxy::Flush() {
     // traffic; queued datagrams are dropped, not transmitted.
     return 0;
   }
-  for (const std::string& encoded : drained) {
-    socket_->SendTo(opts_.remote_ip, opts_.remote_port, encoded);
-    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteSend,
-                                       obs_name_, 0);
+  std::optional<obs::HostScope> host_scope;
+  if (obs::Enabled()) {
+    host_scope.emplace(host_.trace_host_id());
+  }
+  for (const OutboxEntry& entry : drained) {
+    socket_->SendTo(opts_.remote_ip, opts_.remote_port, entry.encoded);
+    // The send belongs to the entry's wire span (allocated on the pool
+    // thread at marshal time), not to whatever span this simulation-thread
+    // caller happens to be under.
+    if (obs::Enabled()) {
+      obs::FlightRecorder::Global().EmitWith(obs::TraceKind::kRemoteSend,
+                                             obs_name_, NowNs(), 0,
+                                             entry.span, 0);
+    }
   }
   return drained.size();
 }

@@ -75,6 +75,12 @@ struct ProxyOptions {
   uint64_t timeout_ns = 2'000'000;           // first attempt's deadline
   uint64_t max_backoff_ns = 32'000'000;      // timeout doubling cap
 
+  // Placement of the proxy binding among the event's handlers (§2.3
+  // "Ordering handlers"). The proxy is an ordinary binding in the event's
+  // combined order list, so First/Last/Before/After hold across local
+  // handlers and the proxy alike.
+  Order order{};
+
   // Identity presented in the bind handshake. Empty module_name defaults
   // to "Remote.Proxy.<event>"; empty credential defaults to the host's
   // (Host::SetCredential).
@@ -151,8 +157,15 @@ class EventProxy {
   bool dead_ = false;
   bool revoked_ = false;
 
-  std::mutex outbox_mu_;  // async marshals run on pool threads
-  std::deque<std::string> outbox_;
+  // Async marshals run on pool threads. Each entry remembers the wire span
+  // its request was encoded under so Flush() can emit the kRemoteSend flow
+  // start against the right span from the simulation thread.
+  struct OutboxEntry {
+    std::string encoded;
+    uint64_t span = 0;
+  };
+  std::mutex outbox_mu_;
+  std::deque<OutboxEntry> outbox_;
 
   uint64_t raises_ = 0;
   uint64_t retries_ = 0;

@@ -13,6 +13,12 @@ void Put16(std::string& out, uint16_t v) {
   out.push_back(static_cast<char>(v));
 }
 
+void Put32(std::string& out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>(v >> shift));
+  }
+}
+
 void Put64(std::string& out, uint64_t v) {
   for (int shift = 56; shift >= 0; shift -= 8) {
     out.push_back(static_cast<char>(v >> shift));
@@ -38,6 +44,18 @@ struct Reader {
     }
     *v = static_cast<uint16_t>((data[pos] << 8) | data[pos + 1]);
     pos += 2;
+    return true;
+  }
+  bool Get32(uint32_t* v) {
+    if (pos + 4 > len) {
+      return false;
+    }
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r = (r << 8) | data[pos + i];
+    }
+    pos += 4;
+    *v = r;
     return true;
   }
   bool Get64(uint64_t* v) {
@@ -179,7 +197,7 @@ bool WireableGuard(const micro::Program& prog) {
 
 std::string EncodeRequest(const RequestMsg& msg) {
   std::string out;
-  out.reserve(27 + msg.event_name.size() + 9 * msg.params.size());
+  out.reserve(39 + msg.event_name.size() + 9 * msg.params.size());
   PutHeader(out, MsgType::kRequest);
   Put8(out, static_cast<uint8_t>(msg.kind));
   Put64(out, msg.request_id);
@@ -188,6 +206,12 @@ std::string EncodeRequest(const RequestMsg& msg) {
   PutParams(out, msg.params);
   for (uint64_t v : msg.args) {
     Put64(out, v);
+  }
+  // Optional trailer: emitted only for traced raises, so untraced frames
+  // are byte-identical to pre-trailer v2 and old decoders still read them.
+  if (msg.span_id != 0) {
+    Put64(out, msg.span_id);
+    Put32(out, msg.origin_host);
   }
   return out;
 }
@@ -271,6 +295,17 @@ bool DecodeRequest(const std::string& wire, RequestMsg* out) {
       return false;
     }
     out->args.push_back(v);
+  }
+  // Causal-trace trailer: absent on untraced/old frames (null span), and
+  // when present it must be exactly 12 bytes with a nonzero span id — a
+  // zero id would re-encode without the trailer, breaking canonicality.
+  out->span_id = 0;
+  out->origin_host = 0;
+  if (r.pos != r.len) {
+    if (!r.Get64(&out->span_id) || !r.Get32(&out->origin_host) ||
+        out->span_id == 0) {
+      return false;
+    }
   }
   return r.pos == r.len;
 }

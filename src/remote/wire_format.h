@@ -23,6 +23,10 @@
 //             argc x tag(1)   [tag = TypeClass | by_ref << 7]
 //             argc x value(8) [by-value: the 64-bit argument slot;
 //                              by-ref: the pointee scalar widened to 64 bits]
+//             [span_id(8) origin_host(4)]  -- optional causal-trace trailer:
+//             present iff the raiser had tracing on (span_id != 0); absent
+//             frames decode with a null span, so v2 peers interoperate both
+//             ways. A present trailer with span_id == 0 is malformed.
 //   reply:    status(1)  request_id(8)  result(8)  nbyref(1)
 //             nbyref x value(8)  [copy-out values of VAR params, in order]
 //             errlen(2)  error
@@ -96,6 +100,12 @@ struct RequestMsg {
   std::string event_name;
   std::vector<WireParam> params;
   std::vector<uint64_t> args;  // one wire value per param
+
+  // Causal-trace trailer (0 = untraced / old frame): the raiser's wire
+  // span id and its RegisterTraceHost id, so the exporter-side dispatch
+  // joins the originating span tree.
+  uint64_t span_id = 0;
+  uint32_t origin_host = 0;
 };
 
 struct ReplyMsg {

@@ -471,6 +471,59 @@ TEST_F(RemoteTest, AsyncRaisesAreFireAndForget) {
   EXPECT_EQ(client_host_.rx_packets(), rx_after_bind);
 }
 
+// --- Ordering across local handlers and the proxy (§2.3) ---------------------
+
+struct OrderLog {
+  std::vector<std::string> entries;
+};
+static void LogA(OrderLog* log, uint64_t) { log->entries.push_back("a"); }
+static void LogB(OrderLog* log, uint64_t) { log->entries.push_back("b"); }
+static void LogRemote(OrderLog* log, uint64_t) {
+  log->entries.push_back("remote");
+}
+
+TEST_F(RemoteTest, ProxyHonorsAfterConstraintAmongLocalHandlers) {
+  Event<void(uint64_t)> server_ev("Order.Op", nullptr, nullptr,
+                                  &dispatcher_);
+  OrderLog log;
+  dispatcher_.InstallHandler(server_ev, &LogRemote, &log);
+  exporter_.Export(server_ev);
+
+  Event<void(uint64_t)> client_ev("Order.Op", nullptr, nullptr,
+                                  &dispatcher_);
+  BindingHandle a = dispatcher_.InstallHandler(client_ev, &LogA, &log);
+  dispatcher_.InstallHandler(client_ev, &LogB, &log);
+  ProxyOptions opts = Opts(9030);
+  opts.order = Order{OrderKind::kAfter, a};
+  EventProxy proxy(client_host_, &sim_, client_ev, opts);
+
+  // The proxy is an ordinary binding in the event's order list: placed
+  // after `a`, its (synchronous) remote dispatch runs between the locals.
+  client_ev.Raise(1);
+  EXPECT_EQ(log.entries,
+            (std::vector<std::string>{"a", "remote", "b"}));
+}
+
+TEST_F(RemoteTest, ProxyOrderedFirstRunsBeforeLocalHandlers) {
+  Event<void(uint64_t)> server_ev("Order.First.Op", nullptr, nullptr,
+                                  &dispatcher_);
+  OrderLog log;
+  dispatcher_.InstallHandler(server_ev, &LogRemote, &log);
+  exporter_.Export(server_ev);
+
+  Event<void(uint64_t)> client_ev("Order.First.Op", nullptr, nullptr,
+                                  &dispatcher_);
+  dispatcher_.InstallHandler(client_ev, &LogA, &log);
+  dispatcher_.InstallHandler(client_ev, &LogB, &log);
+  ProxyOptions opts = Opts(9031);
+  opts.order = Order{OrderKind::kFirst};
+  EventProxy proxy(client_host_, &sim_, client_ev, opts);
+
+  client_ev.Raise(1);
+  EXPECT_EQ(log.entries,
+            (std::vector<std::string>{"remote", "a", "b"}));
+}
+
 // --- Install-time authorization over the wire (§2.5) -------------------------
 
 // Exporter-side authorizer: checks the wire credential, records the caller

@@ -106,6 +106,12 @@ std::string RandomFrame(Rng& rng, MsgType type) {
       for (size_t i = 0; i < msg.params.size(); ++i) {
         msg.args.push_back(rng.Next());
       }
+      // Half the frames carry the optional causal-trace trailer (span_id
+      // must be nonzero when present).
+      if (rng.Below(2) == 0) {
+        msg.span_id = rng.Next() | 1;
+        msg.origin_host = static_cast<uint32_t>(rng.Next());
+      }
       return EncodeRequest(msg);
     }
     case MsgType::kReply: {

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validates Chrome trace-event JSON written by obs::WriteChromeTrace.
+
+Checks, per file:
+  1. The file parses as JSON with a `traceEvents` array.
+  2. Duration events balance: every "B" has a matching "E" on the same
+     (pid, tid), properly nested (a stack, not a multiset).
+  3. Flow events resolve: every flow step ("t") and finish ("f") id was
+     started by an "s" event somewhere in the trace.
+
+Exit status 0 when every file passes; 1 otherwise, with one line per
+failure. Usage: validate_trace.py trace.json [more.json ...]
+"""
+
+import json
+import sys
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not parseable JSON: {e}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents array"]
+
+    stacks = {}  # (pid, tid) -> stack of open B names
+    flow_started = set()
+    flow_used = []  # (id, phase) seen before knowing all starts
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            errors.append(f"{path}: event {i} has no phase")
+            continue
+        ph = ev["ph"]
+        key = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            stacks.setdefault(key, []).append(ev.get("name"))
+        elif ph == "E":
+            stack = stacks.setdefault(key, [])
+            if not stack:
+                errors.append(
+                    f"{path}: event {i}: E with no open B on pid/tid {key}")
+            else:
+                stack.pop()
+        elif ph == "s":
+            flow_started.add(ev.get("id"))
+        elif ph in ("t", "f"):
+            flow_used.append((ev.get("id"), ph, i))
+
+    for key, stack in stacks.items():
+        if stack:
+            errors.append(
+                f"{path}: {len(stack)} unclosed B event(s) on pid/tid "
+                f"{key}: {stack}")
+    for flow_id, ph, i in flow_used:
+        if flow_id not in flow_started:
+            errors.append(
+                f"{path}: event {i}: flow '{ph}' id {flow_id} has no "
+                f"'s' start")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    for path in argv[1:]:
+        failures.extend(validate(path))
+    for line in failures:
+        print(line, file=sys.stderr)
+    if not failures:
+        print(f"OK: {len(argv) - 1} trace file(s) valid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
