@@ -96,6 +96,14 @@ class CompiledStub {
   CompiledStub(std::unique_ptr<CodeBuffer> buffer, std::string lir_text,
                size_t lir_insns, size_t peephole_rewrites);
 
+  // Byte-copies the routine into a fresh executable mapping. The emitted
+  // code is position-independent (register-indirect calls, internal rel32
+  // branches only), so the copy is an exact functional replica; sharded
+  // dispatchers clone one compiled stub per shard so each shard's unrolled
+  // dispatch loop owns its own I-cache lines. Returns nullptr if the
+  // platform refuses a new executable mapping.
+  std::unique_ptr<CompiledStub> Clone() const;
+
   DispatchStubFn entry() const {
     return reinterpret_cast<DispatchStubFn>(
         const_cast<void*>(buffer_->entry()));

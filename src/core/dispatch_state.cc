@@ -6,6 +6,7 @@
 #include "src/core/dispatcher.h"
 #include "src/core/ephemeral.h"
 #include "src/core/errors.h"
+#include "src/core/shard.h"
 #include "src/micro/interp.h"
 #include "src/obs/trace.h"
 #include "src/rt/clock.h"
@@ -66,8 +67,14 @@ void ScheduleAsyncBinding(const DispatchTable& table,
     slots[i] = frame.args[i];
   }
   uint64_t budget = table.ephemeral_budget_ns;
-  table.pool->Submit(
-      [binding, slots, budget, span_ctx]() mutable {
+  // The handler runs behind the raising source's own outbox (the pool queue
+  // indexed by this replica's shard) and keeps that source identity, so any
+  // events it raises in turn stay on the same shard.
+  uint64_t source = CurrentRaiseSource();
+  table.pool->SubmitTo(
+      table.shard,
+      [binding, slots, budget, span_ctx, source]() mutable {
+        RaiseSourceScope raise_source(source);
         bool tracing = obs::Enabled();
         // Adopt the span the enqueue site allocated for this handoff so
         // kAsyncEnqueue (raising thread) and kAsyncExecute (this thread)
@@ -247,8 +254,17 @@ void EventBase::RaiseErased(RaiseFrame& frame) {
   bool promote = false;
   obs::DispatchKind kind = obs::DispatchKind::kInterp;
   {
-    EpochDomain::Guard guard(dispatcher.epoch());
-    DispatchTable* table = table_.load(std::memory_order_acquire);
+    // Route by raise source: hash it to a shard and read that shard's
+    // replica under that shard's epoch domain. Single-shard dispatchers
+    // skip the hash and the counter — shard 0 is the historical path.
+    const uint32_t nshards = dispatcher.shard_count();
+    uint32_t shard = 0;
+    if (nshards > 1) {
+      shard = ShardFor(CurrentRaiseSource(), nshards);
+      dispatcher.CountShardRaise(shard);
+    }
+    EpochDomain::Guard guard(dispatcher.shard_epoch(shard));
+    DispatchTable* table = table_slot(shard).load(std::memory_order_acquire);
     SPIN_DCHECK(table != nullptr);
     kind = table->obs_kind;
     if (table->lazy_pending) {
@@ -275,9 +291,12 @@ void EventBase::RaiseErased(RaiseFrame& frame) {
 void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
   ThreadPool* pool = nullptr;
   AsyncMode mode = AsyncMode::kPooled;
+  const uint32_t nshards = owner_->shard_count();
+  const uint32_t shard =
+      nshards > 1 ? ShardFor(CurrentRaiseSource(), nshards) : 0;
   {
-    EpochDomain::Guard guard(owner_->epoch());
-    DispatchTable* table = table_.load(std::memory_order_acquire);
+    EpochDomain::Guard guard(owner_->shard_epoch(shard));
+    DispatchTable* table = table_slot(shard).load(std::memory_order_acquire);
     pool = table->pool;
     mode = table->async_mode;
   }
@@ -290,8 +309,14 @@ void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
                                            span_ctx.span, span_ctx.parent);
   }
   RaiseFrame copy = frame;
-  pool->Submit(
-      [this, copy, span_ctx]() mutable {
+  // The detached dispatch runs behind the source's outbox and re-raises
+  // with the same source identity, so it lands on the same shard replica
+  // the synchronous path would have used.
+  uint64_t source = CurrentRaiseSource();
+  pool->SubmitTo(
+      shard,
+      [this, copy, span_ctx, source]() mutable {
+        RaiseSourceScope raise_source(source);
         std::optional<obs::SpanScope> span;
         if (obs::Enabled() && span_ctx.span != 0) {
           span.emplace(span_ctx, /*complete_on_exit=*/true);

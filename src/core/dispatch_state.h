@@ -6,6 +6,14 @@
 // respect to event dispatch by using a single memory access"); the old
 // table — including any generated code it owns — is reclaimed through
 // epoch-based reclamation once concurrent raises have drained.
+//
+// When the owning dispatcher is sharded (Config::shards > 1), the event
+// holds one table replica per shard. A raise hashes its source (see
+// src/core/shard.h) to a shard and reads only that shard's replica under
+// that shard's epoch domain; installs publish a fresh replica to every
+// shard, each with its own copy of the generated stub so the unrolled
+// dispatch loop stays warm in each shard's I-cache. With one shard the
+// layout and the raise path are exactly the historical single-replica ones.
 #ifndef SRC_CORE_DISPATCH_STATE_H_
 #define SRC_CORE_DISPATCH_STATE_H_
 
@@ -57,6 +65,11 @@ struct DispatchTable {
 
   AsyncMode async_mode = AsyncMode::kPooled;
   ThreadPool* pool = nullptr;
+
+  // Which shard this replica serves: async work it schedules goes to the
+  // pool queue of the same index, keeping a source's async handlers behind
+  // its own outbox. Always 0 for single-shard dispatchers.
+  uint32_t shard = 0;
 
   // Lazy-compile mode: this table is interpreted, but the event should be
   // promoted to a compiled table once it proves hot.
@@ -168,7 +181,19 @@ class EventBase {
   const Module* authority_;
   Dispatcher* owner_;
 
+  // Shard 0's table replica lives inline (the whole state of a single-shard
+  // event); replicas for shards 1..N-1 live in extra_tables_, one cache
+  // line each so raises on different shards never false-share.
   std::atomic<DispatchTable*> table_{nullptr};
+  struct alignas(64) TableSlot {
+    std::atomic<DispatchTable*> table{nullptr};
+  };
+  std::unique_ptr<TableSlot[]> extra_tables_;  // null when owner has 1 shard
+
+  std::atomic<DispatchTable*>& table_slot(uint32_t shard) {
+    return shard == 0 ? table_ : extra_tables_[shard - 1].table;
+  }
+
   std::atomic<void*> direct_fn_{nullptr};
   std::atomic<bool> async_event_{false};
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 #include <ostream>
+#include <thread>
 
 #include "src/micro/pattern.h"
 #include "src/obs/export.h"
@@ -186,6 +187,12 @@ EventBase::EventBase(std::string name, ProcSig sig, const Module* authority,
   SPIN_ASSERT(owner_ != nullptr);
   SPIN_ASSERT_MSG(sig_.params.size() <= static_cast<size_t>(kMaxEventArgs),
                   "event %s has too many parameters", name_.c_str());
+  // Replica slots for shards 1..N-1 must exist before the event becomes
+  // visible to raises (RegisterEvent publishes the first tables).
+  if (owner_->shard_count() > 1) {
+    extra_tables_ =
+        std::make_unique<TableSlot[]>(owner_->shard_count() - 1);
+  }
   owner_->RegisterEvent(this);
 }
 
@@ -200,12 +207,35 @@ namespace {
 std::atomic<uint64_t> g_next_dispatcher_id{1};
 }  // namespace
 
+namespace {
+
+uint32_t ResolveShardCount(uint32_t requested) {
+  if (requested == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    requested = hw == 0 ? 1 : static_cast<uint32_t>(hw);
+  }
+  return std::min(requested, Dispatcher::kMaxShards);
+}
+
+}  // namespace
+
 Dispatcher::Dispatcher(const Config& config)
     : config_(config),
       epoch_(config.epoch != nullptr ? config.epoch : &EpochDomain::Global()),
       pool_(config.pool != nullptr ? config.pool : &ThreadPool::Global()),
+      shard_count_(ResolveShardCount(config.shards)),
+      shards_(std::make_unique<ShardState[]>(shard_count_)),
       quota_(config.quota_bytes_per_module),
       instance_id_(g_next_dispatcher_id.fetch_add(1)) {
+  // Shard 0 always shares the configured (or global) domain: single-shard
+  // dispatchers keep the historical reclamation protocol, and install-side
+  // introspection reads shard 0 under epoch(). Extra shards own private
+  // domains so their raises never contend on another shard's epoch state.
+  shards_[0].epoch = epoch_;
+  for (uint32_t s = 1; s < shard_count_; ++s) {
+    shards_[s].owned_epoch = std::make_unique<EpochDomain>();
+    shards_[s].epoch = shards_[s].owned_epoch.get();
+  }
   obs::RegisterSource(this, &Dispatcher::ExportMetricsSource);
 }
 
@@ -213,7 +243,9 @@ Dispatcher::~Dispatcher() {
   obs::UnregisterSource(this);
   // Events must be destroyed before their dispatcher; whatever tables remain
   // belong to events that leaked. Reclaim retired state.
-  epoch_->Flush();
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    shards_[s].epoch->Flush();
+  }
 }
 
 Dispatcher& Dispatcher::Global() {
@@ -245,9 +277,19 @@ void Dispatcher::UnregisterEvent(EventBase* event) {
     events_.erase(std::remove(events_.begin(), events_.end(), event),
                   events_.end());
   }
-  // Drain concurrent raises, then free the final table directly.
-  epoch_->Synchronize();
-  delete event->table_.exchange(nullptr, std::memory_order_acq_rel);
+  // Drain concurrent raises on every shard, then free the final replicas
+  // directly.
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    shards_[s].epoch->Synchronize();
+    delete event->table_slot(s).exchange(nullptr,
+                                         std::memory_order_acq_rel);
+  }
+}
+
+void Dispatcher::SynchronizeAllShards() {
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    shards_[s].epoch->Synchronize();
+  }
 }
 
 bool Dispatcher::AuthorizeLocked(AuthRequest& request) {
@@ -884,7 +926,43 @@ void Dispatcher::RebuildLocked(EventBase& event) {
   obs::FlightRecorder::Global().Emit(obs::TraceKind::kRebuild,
                                      event.obs_name_, table->version);
 
-  // Publish with a single store; retire the old table through EBR.
+  // Publish one replica per shard, each with a single store; old replicas
+  // retire through the owning shard's epoch domain. The stub is compiled
+  // once (above, for shard 0) and byte-copied for the other shards so every
+  // shard's dispatch loop lives in its own executable pages.
+  for (uint32_t s = 1; s < shard_count_; ++s) {
+    auto replica = std::make_unique<DispatchTable>();
+    replica->sync_bindings = table->sync_bindings;
+    replica->async_bindings = table->async_bindings;
+    replica->default_handler = table->default_handler;
+    replica->policy = table->policy;
+    replica->custom_fold = table->custom_fold;
+    replica->custom_fold_ctx = table->custom_fold_ctx;
+    replica->returns_value = table->returns_value;
+    replica->result_is_bool = table->result_is_bool;
+    replica->ephemeral_budget_ns = table->ephemeral_budget_ns;
+    replica->async_mode = table->async_mode;
+    replica->pool = table->pool;
+    replica->shard = s;
+    replica->lazy_pending = table->lazy_pending;
+    replica->obs_kind = table->obs_kind;
+    replica->version = table->version;
+    if (table->stub != nullptr) {
+      replica->stub = table->stub->Clone();
+      if (replica->stub != nullptr) {
+        ++stats_.stub_replicas;
+      } else {
+        // The platform refused another executable mapping; this shard
+        // interprets the same bindings instead (semantically identical).
+        replica->obs_kind = obs::DispatchKind::kInterp;
+      }
+    }
+    DispatchTable* old = event.table_slot(s).exchange(
+        replica.release(), std::memory_order_acq_rel);
+    if (old != nullptr) {
+      shards_[s].epoch->Retire(old, &DeleteTable);
+    }
+  }
   DispatchTable* old = event.table_.exchange(table.release(),
                                              std::memory_order_acq_rel);
   event.direct_fn_.store(direct, std::memory_order_release);
@@ -908,11 +986,34 @@ void Dispatcher::ExportMetricsSource(void* ctx, std::ostream& os) {
   line("spin_dispatcher_direct_tables_total", stats.direct_tables);
   line("spin_dispatcher_tree_tables_total", stats.tree_tables);
   line("spin_dispatcher_lazy_promotions_total", stats.lazy_promotions);
+  line("spin_dispatcher_stub_replicas_total", stats.stub_replicas);
+  line("spin_dispatcher_shards", self->shard_count_);
   // The pool and epoch domain may be process-global and shared between
   // dispatchers; the instance label keeps the series distinct regardless.
+  // Aggregates stay unlabeled for dashboard continuity; per-shard series
+  // add a `shard` label (the pool queue of the same index drains a shard's
+  // async outbox, so pool queues are reported per shard).
   line("spin_pool_queue_depth", self->pool_->queue_depth());
   line("spin_pool_pending", self->pool_->pending());
   line("spin_pool_executed_total", self->pool_->executed());
+  line("spin_pool_steals_total", self->pool_->steals());
+  auto shard_line = [&os, self](const char* name, uint32_t shard,
+                                uint64_t value) {
+    os << name << "{instance=\"" << self->instance_id_ << "\",shard=\""
+       << shard << "\"} " << value << "\n";
+  };
+  if (self->shard_count_ > 1) {
+    size_t pool_queues = self->pool_->queues();
+    for (uint32_t s = 0; s < self->shard_count_; ++s) {
+      shard_line("spin_dispatcher_shard_raises_total", s,
+                 self->shard_raises(s));
+      if (s < pool_queues) {
+        shard_line("spin_pool_queue_depth", s, self->pool_->queue_depth(s));
+        shard_line("spin_pool_executed_total", s, self->pool_->executed(s));
+        shard_line("spin_pool_steals_total", s, self->pool_->steals(s));
+      }
+    }
+  }
   line("spin_epoch_current", self->epoch_->epoch());
   line("spin_epoch_retired", self->epoch_->retired_count());
   line("spin_epoch_reclaimed_total", self->epoch_->reclaimed_total());

@@ -8,6 +8,7 @@
 #include "src/codegen/frame.h"
 #include "src/core/dispatch_state.h"
 #include "src/core/dispatcher.h"
+#include "src/core/shard.h"
 #include "src/obs/context.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
@@ -337,6 +338,11 @@ ReplyMsg Exporter::Dispatch(const RequestMsg& request) {
   }
 
   try {
+    // Inbound dispatch is identified by the connection it arrived on: the
+    // capability token pins every raise from one remote binding (and
+    // whatever its handlers raise in turn) to one dispatcher shard.
+    RaiseSourceScope source(
+        MakeRaiseSource(SourceKind::kConnection, request.token));
     entry.event->RaiseErased(frame);
   } catch (const std::exception& e) {
     ++exceptions_;

@@ -6,15 +6,32 @@
 namespace spin {
 namespace {
 
+// Per-thread cache of (domain, record) pairs. A thread can hold guards on
+// several domains at once — the global domain plus any number of per-shard
+// dispatcher domains — so a single cached pair is not enough. Entries are
+// keyed by the domain's never-reused id: an entry for a destroyed domain
+// can never produce a false hit, and is recognized as stale (and replaced)
+// without its record pointer ever being dereferenced.
 struct TlsSlot {
-  // One cached record per (thread, domain) pair would require a map; in
-  // practice the process uses the global domain plus short-lived test
-  // domains, so we cache the record keyed by domain pointer.
+  uint64_t domain_id = 0;  // 0 = empty
   EpochDomain* domain = nullptr;
   void* record = nullptr;
 };
 
-thread_local TlsSlot g_tls;
+constexpr size_t kTlsSlots = 8;
+
+struct TlsCache {
+  TlsSlot slots[kTlsSlots];
+  size_t next_victim = 0;
+};
+
+thread_local TlsCache g_tls;
+
+std::atomic<uint64_t> g_next_domain_id{1};
+
+uint64_t NextDomainId() {
+  return g_next_domain_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 }  // namespace
 
@@ -22,6 +39,20 @@ EpochDomain& EpochDomain::Global() {
   static EpochDomain* domain = new EpochDomain();  // intentionally leaked
   return *domain;
 }
+
+EpochDomain::EpochDomain() : id_(NextDomainId()) {}
+
+namespace {
+
+// Records of destroyed domains. They are never freed: a thread's cache may
+// still hold a pointer into a dead domain's record list, and while such an
+// entry is never *dereferenced* (its domain id can no longer match), keeping
+// the memory alive makes that property cheap to maintain and lets new
+// domains recycle the records instead of leaking per-domain.
+Spinlock g_record_pool_lock;
+void* g_record_pool_head = nullptr;  // chained via ThreadRecord::next
+
+}  // namespace
 
 EpochDomain::~EpochDomain() {
   // Free everything still retired; callers must have quiesced.
@@ -32,69 +63,94 @@ EpochDomain::~EpochDomain() {
     list.clear();
   }
   ThreadRecord* rec = records_.load(std::memory_order_acquire);
-  while (rec != nullptr) {
-    ThreadRecord* next = rec->next;
-    delete rec;
-    rec = next;
-  }
-  if (g_tls.domain == this) {
-    g_tls = TlsSlot{};
+  if (rec != nullptr) {
+    ThreadRecord* tail = rec;
+    while (tail->next != nullptr) {
+      tail = tail->next;
+    }
+    std::lock_guard<Spinlock> lock(g_record_pool_lock);
+    tail->next = static_cast<ThreadRecord*>(g_record_pool_head);
+    g_record_pool_head = rec;
   }
 }
 
 EpochDomain::ThreadRecord* EpochDomain::AcquireRecord() {
-  if (g_tls.domain == this && g_tls.record != nullptr) {
-    return static_cast<ThreadRecord*>(g_tls.record);
-  }
-  // Try to reuse a record abandoned by an exited thread.
-  for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
-       rec != nullptr; rec = rec->next) {
-    bool expected = false;
-    if (rec->in_use.compare_exchange_strong(expected, true,
-                                            std::memory_order_acq_rel)) {
-      g_tls.domain = this;
-      g_tls.record = rec;
-      return rec;
+  for (TlsSlot& slot : g_tls.slots) {
+    if (slot.domain == this && slot.domain_id == id_) {
+      return static_cast<ThreadRecord*>(slot.record);
     }
   }
-  auto* rec = new ThreadRecord();
-  rec->in_use.store(true, std::memory_order_relaxed);
+  // Slow path: adopt a record for this (thread, domain) pair. Prefer one
+  // recycled from a destroyed domain, then allocate.
+  ThreadRecord* rec = nullptr;
+  {
+    std::lock_guard<Spinlock> lock(g_record_pool_lock);
+    if (g_record_pool_head != nullptr) {
+      rec = static_cast<ThreadRecord*>(g_record_pool_head);
+      g_record_pool_head = rec->next;
+    }
+  }
+  if (rec != nullptr) {
+    rec->epoch.store(kIdle, std::memory_order_relaxed);
+    rec->in_use.store(true, std::memory_order_relaxed);
+    rec->nesting = 0;
+  } else {
+    rec = new ThreadRecord();
+    rec->in_use.store(true, std::memory_order_relaxed);
+  }
   ThreadRecord* head = records_.load(std::memory_order_relaxed);
   do {
     rec->next = head;
   } while (!records_.compare_exchange_weak(head, rec,
                                            std::memory_order_release,
                                            std::memory_order_relaxed));
-  g_tls.domain = this;
-  g_tls.record = rec;
+  // Cache it: take an empty slot, else evict round-robin. Eviction only
+  // overwrites the slot — the displaced record stays registered with its
+  // domain (a later cache miss on that domain simply registers a fresh
+  // record), and any guard currently holding it keeps its direct pointer.
+  TlsSlot* victim = nullptr;
+  for (TlsSlot& slot : g_tls.slots) {
+    if (slot.domain_id == 0) {
+      victim = &slot;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = &g_tls.slots[g_tls.next_victim];
+    g_tls.next_victim = (g_tls.next_victim + 1) % kTlsSlots;
+  }
+  victim->domain_id = id_;
+  victim->domain = this;
+  victim->record = rec;
   return rec;
 }
 
-void EpochDomain::Enter() {
+EpochDomain::ThreadRecord* EpochDomain::Enter() {
   ThreadRecord* rec = AcquireRecord();
   if (rec->nesting++ > 0) {
-    return;  // already pinned by an enclosing guard
+    return rec;  // already pinned by an enclosing guard
   }
   rec->epoch.store(global_epoch_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
   // The store above must be visible before any read of protected data, and
   // before a writer samples our epoch during TryAdvance.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  return rec;
 }
 
-void EpochDomain::Exit() {
-  auto* rec = static_cast<ThreadRecord*>(g_tls.record);
+void EpochDomain::Exit(ThreadRecord* rec) {
   SPIN_DCHECK(rec != nullptr && rec->nesting > 0);
   if (--rec->nesting == 0) {
     rec->epoch.store(kIdle, std::memory_order_release);
   }
 }
 
-EpochDomain::Guard::Guard(EpochDomain& domain) : domain_(domain) {
-  domain_.Enter();
-}
+EpochDomain::Guard::Guard(EpochDomain& domain)
+    : domain_(domain), record_(domain.Enter()) {}
 
-EpochDomain::Guard::~Guard() { domain_.Exit(); }
+EpochDomain::Guard::~Guard() {
+  domain_.Exit(static_cast<ThreadRecord*>(record_));
+}
 
 void EpochDomain::Retire(void* p, void (*deleter)(void*)) {
   bool flush = false;

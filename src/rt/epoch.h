@@ -12,6 +12,17 @@
 // Readers (raises) pay two uncontended thread-local atomic stores and one
 // fence; writers (installs) pay a mutex, which matches the paper's model of
 // rare reconfiguration and frequent dispatch.
+//
+// Multiple domains per thread: a sharded dispatcher gives every shard its
+// own domain, and a handler on one shard may raise into another (or into a
+// single-shard dispatcher on the global domain), nesting guards of
+// *different* domains on one thread. Each thread therefore caches a small
+// set of (domain, record) pairs keyed by a never-reused domain id, and a
+// Guard pins the record it entered through, so exits always decrement the
+// right domain's nesting count no matter how guards interleave. Records are
+// never freed — a destroyed domain's records go to a global recycle pool —
+// so a stale cache entry (dead domain, id mismatch) is detected without
+// ever dereferencing it.
 #ifndef SRC_RT_EPOCH_H_
 #define SRC_RT_EPOCH_H_
 
@@ -26,7 +37,7 @@ namespace spin {
 
 class EpochDomain {
  public:
-  EpochDomain() = default;
+  EpochDomain();
   ~EpochDomain();
   EpochDomain(const EpochDomain&) = delete;
   EpochDomain& operator=(const EpochDomain&) = delete;
@@ -35,7 +46,8 @@ class EpochDomain {
   static EpochDomain& Global();
 
   // RAII critical-section token. Nestable: inner guards piggyback on the
-  // outermost one (a handler may itself raise events).
+  // outermost one (a handler may itself raise events), including across
+  // distinct domains — each guard pins the record it entered through.
   class Guard {
    public:
     explicit Guard(EpochDomain& domain);
@@ -45,6 +57,7 @@ class EpochDomain {
 
    private:
     EpochDomain& domain_;
+    void* record_;  // ThreadRecord*, owned by (thread, domain)
   };
 
   // Schedules `p` to be destroyed with `deleter` once no critical section
@@ -86,11 +99,15 @@ class EpochDomain {
   static constexpr size_t kFlushThreshold = 64;
 
   ThreadRecord* AcquireRecord();
-  void Enter();
-  void Exit();
+  ThreadRecord* Enter();
+  void Exit(ThreadRecord* rec);
   // Returns true if the epoch advanced. Caller holds retire_lock_.
   bool TryAdvanceLocked();
   size_t ReclaimLocked();
+
+  // Never reused across domains; lets stale thread-local cache entries for
+  // a destroyed domain be recognized without dereferencing their record.
+  const uint64_t id_;
 
   std::atomic<ThreadRecord*> records_{nullptr};
   std::atomic<uint64_t> global_epoch_{0};

@@ -3,6 +3,8 @@
 #include "src/rt/epoch.h"
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -142,6 +144,99 @@ TEST(EpochTest, ConcurrentReadersAndWriters) {
   EXPECT_EQ(bad.load(), 0);
   domain.Synchronize();
   delete current.load();
+}
+
+TEST(EpochTest, GuardsNestAcrossDistinctDomains) {
+  // A sharded dispatcher gives each shard its own domain, and a handler on
+  // one shard may raise into another: guards of *different* domains nest on
+  // one thread. The outer domain must stay pinned while inner guards on
+  // other domains come and go.
+  EpochDomain outer_domain;
+  EpochDomain inner_domain;
+  std::atomic<bool> freed{false};
+  {
+    EpochDomain::Guard outer(outer_domain);
+    // Churn the inner domain: enter/exit and advance its epoch repeatedly.
+    for (int i = 0; i < 100; ++i) {
+      EpochDomain::Guard inner(inner_domain);
+    }
+    inner_domain.Synchronize();
+    // Retire into the outer domain while we still hold its guard: the
+    // object must NOT be freed, however much the inner domain churned.
+    outer_domain.Retire(&freed, +[](void* p) {
+      static_cast<std::atomic<bool>*>(p)->store(true);
+    });
+    outer_domain.Flush();
+    EXPECT_FALSE(freed.load());
+  }
+  outer_domain.Synchronize();
+  EXPECT_TRUE(freed.load());
+}
+
+TEST(EpochTest, ManyDomainsPerThreadSurviveCacheEviction) {
+  // More simultaneous domains than the thread-local cache holds: records
+  // get evicted and re-acquired, and guard exits must still balance (a
+  // stuck record would make Synchronize spin forever).
+  constexpr int kDomains = 24;
+  std::vector<std::unique_ptr<EpochDomain>> domains;
+  for (int i = 0; i < kDomains; ++i) {
+    domains.push_back(std::make_unique<EpochDomain>());
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (auto& d : domains) {
+      EpochDomain::Guard guard(*d);
+    }
+  }
+  // Deep cross-domain nesting, deeper than the cache.
+  {
+    std::vector<std::unique_ptr<EpochDomain::Guard>> guards;
+    for (auto& d : domains) {
+      guards.push_back(std::make_unique<EpochDomain::Guard>(*d));
+    }
+  }
+  for (auto& d : domains) {
+    d->Synchronize();  // all records idle again: must not spin
+  }
+}
+
+TEST(EpochTest, DomainChurnWithThreadsDoesNotCrossContaminate) {
+  // Domains are created and destroyed while a long-lived thread keeps
+  // entering guards on fresh ones (the shape of tests constructing sharded
+  // dispatchers back to back against the global pool). Destroyed domains'
+  // records must never produce a false cache hit for a new domain. The
+  // mutex sequences the reader's guard against domain destruction; what is
+  // under test is the reader's thread-local record cache surviving 200
+  // generations of dead domains.
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  EpochDomain* shared = nullptr;  // guarded by mu
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (shared != nullptr) {
+        EpochDomain::Guard guard(*shared);
+      }
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    auto domain = std::make_unique<EpochDomain>();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shared = domain.get();
+    }
+    {
+      EpochDomain::Guard guard(*domain);
+    }
+    domain->Synchronize();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shared = nullptr;
+    }
+    // Destroyed here: its records go to the recycle pool while the
+    // reader's cache still holds entries keyed by the dead domain's id.
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
 }
 
 }  // namespace
