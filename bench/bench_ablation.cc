@@ -74,6 +74,20 @@ spin::bench::LatencyStats StatsTenHandlersTraced(
   });
 }
 
+// Sampled tracing at 1-in-rate: production tables stay installed and the
+// sampled-out raises pay only the decision (a thread-local countdown).
+spin::bench::LatencyStats StatsTenHandlersSampled(
+    const spin::Dispatcher::Config& config, uint32_t rate) {
+  spin::obs::FlightRecorder::Global().Reset();
+  return WithTenHandlers(config, [rate](auto& event) {
+    event.owner().SetTracing({spin::obs::TraceMode::kSampled, rate});
+    auto stats = spin::bench::NsPerOpStats([&] { event.Raise(7); },
+                                           /*samples=*/10000);
+    event.owner().SetTracing({spin::obs::TraceMode::kOff, 1});
+    return stats;
+  });
+}
+
 double MeasureIntrinsic(bool allow_direct) {
   spin::Module module("Ablation");
   spin::Dispatcher::Config config;
@@ -181,12 +195,23 @@ int main() {
 
   spin::bench::LatencyStats tracing_off = StatsTenHandlers(full);
   spin::bench::LatencyStats tracing_on = StatsTenHandlersTraced(full);
+  spin::bench::LatencyStats sampled_128 = StatsTenHandlersSampled(full, 128);
+  spin::bench::LatencyStats sampled_8 = StatsTenHandlersSampled(full, 8);
   std::printf("\ncausal tracing (flight recorder + span propagation, same "
               "10-handler workload):\n");
   std::printf("  %-40s %8llu ns p50\n", "tracing off",
               static_cast<unsigned long long>(tracing_off.p50_ns));
-  std::printf("  %-40s %8llu ns p50\n", "tracing on",
+  std::printf("  %-40s %8llu ns p50\n", "sampled 1-in-128",
+              static_cast<unsigned long long>(sampled_128.p50_ns));
+  std::printf("  %-40s %8llu ns p50\n", "sampled 1-in-8",
+              static_cast<unsigned long long>(sampled_8.p50_ns));
+  std::printf("  %-40s %8llu ns p50\n", "tracing on (full)",
               static_cast<unsigned long long>(tracing_on.p50_ns));
+  std::printf("  sampled-128 / off p50 ratio: %.2fx (budget 2.0x)\n",
+              tracing_off.p50_ns == 0
+                  ? 0.0
+                  : static_cast<double>(sampled_128.p50_ns) /
+                        static_cast<double>(tracing_off.p50_ns));
 
   std::printf("\nlatency distributions (JSON, 1 row per case):\n");
   spin::bench::JsonRow("ablation", "ten_handlers_full", StatsTenHandlers(full));
@@ -195,6 +220,8 @@ int main() {
   spin::bench::JsonRow("ablation", "ten_handlers_interp",
                        StatsTenHandlers(interp));
   spin::bench::JsonRow("ablation", "ten_handlers_tracing_off", tracing_off);
+  spin::bench::JsonRow("ablation", "ten_handlers_sampled_128", sampled_128);
+  spin::bench::JsonRow("ablation", "ten_handlers_sampled_8", sampled_8);
   spin::bench::JsonRow("ablation", "ten_handlers_tracing_on", tracing_on);
   return 0;
 }

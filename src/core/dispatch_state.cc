@@ -9,6 +9,7 @@
 #include "src/core/shard.h"
 #include "src/micro/interp.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 #include "src/rt/clock.h"
 #include "src/rt/epoch.h"
 #include "src/rt/panic.h"
@@ -67,15 +68,24 @@ void ScheduleAsyncBinding(const DispatchTable& table,
     slots[i] = frame.args[i];
   }
   uint64_t budget = table.ephemeral_budget_ns;
+  uint32_t shard = table.shard;
   // The handler runs behind the raising source's own outbox (the pool queue
   // indexed by this replica's shard) and keeps that source identity, so any
   // events it raises in turn stay on the same shard.
   uint64_t source = CurrentRaiseSource();
   table.pool->SubmitTo(
-      table.shard,
-      [binding, slots, budget, span_ctx, source]() mutable {
+      shard,
+      [binding, slots, budget, span_ctx, source, shard]() mutable {
         RaiseSourceScope raise_source(source);
-        bool tracing = obs::Enabled();
+        // Re-install the enqueue site's sampling decision before anything
+        // here can emit, so the handoff stays inside (or outside) the same
+        // sampled tree. An undecided context — tracing was off at enqueue
+        // time — is left undecided; a nested raise decides fresh.
+        std::optional<obs::SampleScope> sample;
+        if (span_ctx.decision != obs::SampleDecision::kUndecided) {
+          sample.emplace(span_ctx.decision);
+        }
+        const bool tracing = obs::Capturing();
         // Adopt the span the enqueue site allocated for this handoff so
         // kAsyncEnqueue (raising thread) and kAsyncExecute (this thread)
         // stitch; this scope is the span's final executor.
@@ -83,7 +93,8 @@ void ScheduleAsyncBinding(const DispatchTable& table,
         if (tracing && span_ctx.span != 0) {
           span.emplace(span_ctx, /*complete_on_exit=*/true);
         }
-        uint64_t start = tracing ? NowNs() : 0;
+        const bool timed = tracing || obs::WatchdogWantsTiming();
+        uint64_t start = timed ? NowNs() : 0;
         if (tracing) {
           obs::FlightRecorder::Global().EmitAt(
               obs::TraceKind::kAsyncExecute, binding->event->obs_name(),
@@ -97,9 +108,12 @@ void ScheduleAsyncBinding(const DispatchTable& table,
         } catch (const DispatchError&) {
           // Detached execution: nobody to report to (§2.6).
         }
-        if (tracing) {
-          binding->event->metrics().Record(obs::DispatchKind::kAsync,
-                                           NowNs() - start);
+        if (timed) {
+          uint64_t elapsed = NowNs() - start;
+          obs::EventMetrics& metrics = binding->event->metrics();
+          metrics.Record(obs::DispatchKind::kAsync, elapsed);
+          obs::CheckDispatch(binding->event->obs_name(), shard, elapsed,
+                             metrics.slow_ns());
         }
       },
       table.async_mode);
@@ -159,7 +173,7 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
   frame.result = table.InitialResult();
   int num_args = static_cast<int>(event.sig().params.size());
 
-  const bool tracing = obs::Enabled();
+  const bool tracing = obs::Capturing();
 
   if (table.stub != nullptr) {
     table.stub->entry()(&frame);
@@ -214,10 +228,15 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
       // Pre-allocate the handoff's span here so the enqueue record can
       // announce it (the flow start) before the pool thread exists.
       const obs::TraceContext& cur = obs::CurrentContext();
-      span_ctx = obs::TraceContext{obs::NewSpanId(), cur.span, cur.host};
+      span_ctx = obs::TraceContext{obs::NewSpanId(), cur.span, cur.host,
+                                   obs::SampleDecision::kTrace};
       obs::FlightRecorder::Global().EmitWith(
           obs::TraceKind::kAsyncEnqueue, event.obs_name(), NowNs(), i,
           span_ctx.span, span_ctx.parent);
+    } else if (obs::Enabled()) {
+      // This raise was sampled out: hand the skip to the pool thread so it
+      // doesn't make a fresh top-level decision mid-tree.
+      span_ctx.decision = obs::SampleDecision::kSkip;
     }
     ScheduleAsyncBinding(table, binding, frame, num_args, span_ctx);
     ++frame.fired;
@@ -239,8 +258,17 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
 
 void EventBase::RaiseErased(RaiseFrame& frame) {
   Dispatcher& dispatcher = *owner_;
-  const bool tracing = obs::Enabled();
-  const bool timed = tracing || dispatcher.profiling();
+  // The sampling decision is made exactly once, at the top-level raise, and
+  // inherited by the whole causal tree: a nested raise sees a decided
+  // context and keeps it, so a captured trace is always a complete tree.
+  std::optional<obs::SampleScope> sample;
+  if (obs::Enabled() &&
+      obs::CurrentContext().decision == obs::SampleDecision::kUndecided) {
+    sample.emplace(obs::DecideTopLevel());
+  }
+  const bool tracing = obs::Capturing();
+  const bool timed =
+      tracing || dispatcher.profiling() || obs::WatchdogWantsTiming();
   uint64_t start = timed ? NowNs() : 0;
   // Every traced dispatch is a span: a top-level raise opens a root, a
   // raise from inside a handler opens a child of the enclosing span. The
@@ -253,12 +281,12 @@ void EventBase::RaiseErased(RaiseFrame& frame) {
   }
   bool promote = false;
   obs::DispatchKind kind = obs::DispatchKind::kInterp;
+  uint32_t shard = 0;
   {
     // Route by raise source: hash it to a shard and read that shard's
     // replica under that shard's epoch domain. Single-shard dispatchers
     // skip the hash and the counter — shard 0 is the historical path.
     const uint32_t nshards = dispatcher.shard_count();
-    uint32_t shard = 0;
     if (nshards > 1) {
       shard = ShardFor(CurrentRaiseSource(), nshards);
       dispatcher.CountShardRaise(shard);
@@ -281,6 +309,7 @@ void EventBase::RaiseErased(RaiseFrame& frame) {
   if (timed) {
     uint64_t end = NowNs();
     metrics_->Record(kind, end - start);
+    obs::CheckDispatch(obs_name_, shard, end - start, metrics_->slow_ns());
     if (tracing) {
       obs::FlightRecorder::Global().EmitAt(obs::TraceKind::kRaiseEnd,
                                            obs_name_, end);
@@ -300,13 +329,24 @@ void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
     pool = table->pool;
     mode = table->async_mode;
   }
+  // A detached raise is its own top level: decide here, at the enqueue
+  // site, so the kAsyncEnqueue record and the pool-side execution agree on
+  // whether the tree is sampled.
+  std::optional<obs::SampleScope> sample;
+  if (obs::Enabled() &&
+      obs::CurrentContext().decision == obs::SampleDecision::kUndecided) {
+    sample.emplace(obs::DecideTopLevel());
+  }
   obs::TraceContext span_ctx{};
-  if (obs::Enabled()) {
+  if (obs::Capturing()) {
     const obs::TraceContext& cur = obs::CurrentContext();
-    span_ctx = obs::TraceContext{obs::NewSpanId(), cur.span, cur.host};
+    span_ctx = obs::TraceContext{obs::NewSpanId(), cur.span, cur.host,
+                                 obs::SampleDecision::kTrace};
     obs::FlightRecorder::Global().EmitWith(obs::TraceKind::kAsyncEnqueue,
                                            obs_name_, NowNs(), 0,
                                            span_ctx.span, span_ctx.parent);
+  } else if (obs::Enabled()) {
+    span_ctx.decision = obs::SampleDecision::kSkip;
   }
   RaiseFrame copy = frame;
   // The detached dispatch runs behind the source's outbox and re-raises
@@ -317,8 +357,12 @@ void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
       shard,
       [this, copy, span_ctx, source]() mutable {
         RaiseSourceScope raise_source(source);
+        std::optional<obs::SampleScope> sample;
+        if (span_ctx.decision != obs::SampleDecision::kUndecided) {
+          sample.emplace(span_ctx.decision);
+        }
         std::optional<obs::SpanScope> span;
-        if (obs::Enabled() && span_ctx.span != 0) {
+        if (obs::Capturing() && span_ctx.span != 0) {
           span.emplace(span_ctx, /*complete_on_exit=*/true);
           obs::FlightRecorder::Global().Emit(obs::TraceKind::kAsyncExecute,
                                              obs_name_);

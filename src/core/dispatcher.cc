@@ -237,9 +237,16 @@ Dispatcher::Dispatcher(const Config& config)
     shards_[s].epoch = shards_[s].owned_epoch.get();
   }
   obs::RegisterSource(this, &Dispatcher::ExportMetricsSource);
+  watch_pool_name_ =
+      obs::Intern("dispatcher" + std::to_string(instance_id_) + "/pool");
+  watch_epoch_name_ =
+      obs::Intern("dispatcher" + std::to_string(instance_id_) + "/epoch");
+  obs::Watchdog::Global().RegisterProbe(this,
+                                        &Dispatcher::WatchdogProbeSource);
 }
 
 Dispatcher::~Dispatcher() {
+  obs::Watchdog::Global().UnregisterProbe(this);
   obs::UnregisterSource(this);
   // Events must be destroyed before their dispatcher; whatever tables remain
   // belong to events that leaked. Reclaim retired state.
@@ -602,6 +609,22 @@ void Dispatcher::DescribeAll(std::ostream& os) const {
   for (EventBase* event : Events()) {
     os << Describe(*event);
   }
+  // Flight-recorder health: silent ring wraparound means every trace
+  // read from the recorder is missing its oldest records. Surface the
+  // drop rate where a human is already looking.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  uint64_t emits = recorder.TotalEmits();
+  uint64_t overwrites = recorder.TotalOverwrites();
+  char line[160];
+  double rate = emits == 0 ? 0.0
+                           : 100.0 * static_cast<double>(overwrites) /
+                                 static_cast<double>(emits);
+  std::snprintf(line, sizeof(line),
+                "flight recorder: %llu records emitted, %llu dropped to "
+                "wraparound (%.2f%% drop rate)\n",
+                static_cast<unsigned long long>(emits),
+                static_cast<unsigned long long>(overwrites), rate);
+  os << line;
 }
 
 void Dispatcher::ReplaceBindingGuardsLocked(const BindingHandle& binding,
@@ -758,15 +781,25 @@ void Dispatcher::EnableProfiling(bool enabled) {
   }
 }
 
-void Dispatcher::EnableTracing(bool enabled) {
+void Dispatcher::SetTracing(const obs::TraceConfig& config) {
   // The obs switch is process-global (the flight recorder is shared);
-  // tracing_ scopes the table rebuilds to this dispatcher's events.
-  obs::SetEnabled(enabled);
-  tracing_.store(enabled, std::memory_order_release);
+  // tracing_ scopes the table rebuilds to this dispatcher's events. Only
+  // kFull suppresses the bypass and stubs — sampled capture keeps
+  // production dispatch and trades per-handler records for a hot path
+  // that stays hot.
+  obs::SetTraceConfig(config);
+  tracing_.store(config.mode == obs::TraceMode::kFull,
+                 std::memory_order_release);
   std::lock_guard<std::mutex> lock(mu_);
   for (EventBase* event : events_) {
-    RebuildLocked(*event);  // tracing disables the bypass and stubs
+    RebuildLocked(*event);
   }
+}
+
+void Dispatcher::EnableTracing(bool enabled) {
+  obs::TraceConfig config = obs::GetTraceConfig();
+  config.mode = enabled ? obs::TraceMode::kFull : obs::TraceMode::kOff;
+  SetTracing(config);
 }
 
 std::vector<EventBase*> Dispatcher::Events() const {
@@ -1023,6 +1056,33 @@ void Dispatcher::ExportMetricsSource(void* ctx, std::ostream& os) {
        << "\",module=\"";
     obs::WriteLabelValue(os, module);
     os << "\"} " << used << "\n";
+  }
+}
+
+void Dispatcher::WatchdogProbeSource(void* ctx,
+                                     std::vector<obs::WatchSample>& out) {
+  auto* self = static_cast<Dispatcher*>(ctx);
+  // One queue sample per shard outbox: depth is the backlog, executed the
+  // progress counter the stall rule watches. Shards beyond the pool's
+  // queue count alias earlier queues (SubmitTo wraps), so cap at both.
+  size_t pool_queues = self->pool_->queues();
+  for (uint32_t s = 0; s < self->shard_count_ && s < pool_queues; ++s) {
+    obs::WatchSample queue;
+    queue.kind = obs::AnomalyKind::kQueueStall;
+    queue.name = self->watch_pool_name_;
+    queue.shard = s;
+    queue.depth = self->pool_->queue_depth(s);
+    queue.progress = self->pool_->executed(s);
+    out.push_back(queue);
+  }
+  for (uint32_t s = 0; s < self->shard_count_; ++s) {
+    obs::WatchSample epoch;
+    epoch.kind = obs::AnomalyKind::kEpochStall;
+    epoch.name = self->watch_epoch_name_;
+    epoch.shard = s;
+    epoch.depth = self->shards_[s].epoch->retired_count();
+    epoch.progress = self->shards_[s].epoch->reclaimed_total();
+    out.push_back(epoch);
   }
 }
 

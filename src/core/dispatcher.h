@@ -36,6 +36,8 @@
 #include "src/core/invoke.h"
 #include "src/core/quota.h"
 #include "src/micro/program.h"
+#include "src/obs/obs.h"
+#include "src/obs/watchdog.h"
 #include "src/rt/epoch.h"
 #include "src/rt/thread_pool.h"
 #include "src/types/type_registry.h"
@@ -249,13 +251,21 @@ class Dispatcher {
     return profiling_.load(std::memory_order_acquire);
   }
 
-  // Flight-recorder capture for this dispatcher's events: turns on the
-  // global obs switch and rebuilds every dispatch table at full fidelity —
-  // no intrinsic bypass and no generated stubs — so per-handler records
-  // (guard rejections, handler fires, filter mutations) are emitted.
-  // Disable to restore production dispatch. See src/obs/trace.h for
-  // exporting the capture.
+  // Flight-recorder capture for this dispatcher's events.
+  //
+  // kFull rebuilds every dispatch table at full fidelity — no intrinsic
+  // bypass and no generated stubs — so per-handler records (guard
+  // rejections, handler fires, filter mutations) are emitted for every
+  // raise. kSampled keeps production tables (stubs and bypass intact) and
+  // captures 1-in-sample_rate top-level raises with their complete causal
+  // trees at raise/span granularity; the unsampled path pays only the
+  // thread-local sampling decision, so sampled tracing can stay on under
+  // production traffic. kOff restores production dispatch and clears the
+  // process-wide obs switch. See src/obs/trace.h for exporting a capture.
+  void SetTracing(const obs::TraceConfig& config);
+  // Boolean compatibility wrapper: true = kFull, false = kOff.
   void EnableTracing(bool enabled);
+  // True when tables are rebuilt at full fidelity (mode == kFull).
   bool tracing() const { return tracing_.load(std::memory_order_acquire); }
 
   std::vector<EventBase*> Events() const;
@@ -344,6 +354,11 @@ class Dispatcher {
 
   static void ExportMetricsSource(void* ctx, std::ostream& os);
 
+  // Anomaly-watchdog probe: reports per-shard pool queue (depth, executed)
+  // and epoch domain (retired, reclaimed) samples each monitor period.
+  static void WatchdogProbeSource(void* ctx,
+                                  std::vector<obs::WatchSample>& out);
+
   // One dispatch-state shard: its epoch domain (owned for shards 1..N-1,
   // aliasing epoch_ for shard 0) and its raise counter, padded so counters
   // of different shards never share a cache line.
@@ -362,6 +377,9 @@ class Dispatcher {
   std::atomic<bool> profiling_{false};
   std::atomic<bool> tracing_{false};
   const uint64_t instance_id_;  // label for exported metrics
+  // Interned identities stamped into watchdog anomaly records.
+  const char* watch_pool_name_ = nullptr;
+  const char* watch_epoch_name_ = nullptr;
 
   mutable std::mutex mu_;  // guards install-side state of all owned events
   std::vector<EventBase*> events_;

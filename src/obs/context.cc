@@ -41,6 +41,29 @@ const TraceContext& CurrentContext() { return t_context; }
 
 TraceContext& internal::MutableContext() { return t_context; }
 
+SampleDecision DecideTopLevel() {
+  if (CurrentTraceMode() == TraceMode::kFull) {
+    return SampleDecision::kTrace;
+  }
+  // Sampled: capture every rate-th top-level raise this thread makes. The
+  // counter is thread-local, so the unsampled path touches no shared state
+  // and the pattern is deterministic for single-threaded tests.
+  thread_local uint32_t t_countdown = 0;
+  uint32_t rate = internal::g_sample_rate.load(std::memory_order_relaxed);
+  if (++t_countdown >= rate) {
+    t_countdown = 0;
+    return SampleDecision::kTrace;
+  }
+  return SampleDecision::kSkip;
+}
+
+SampleScope::SampleScope(SampleDecision decision)
+    : saved_(t_context.decision) {
+  t_context.decision = decision;
+}
+
+SampleScope::~SampleScope() { t_context.decision = saved_; }
+
 uint64_t NewSpanId() {
   g_spans_started.fetch_add(1, std::memory_order_relaxed);
   return g_next_span.fetch_add(1, std::memory_order_relaxed);

@@ -18,8 +18,22 @@
 #include <cstdint>
 #include <string>
 
+#include "src/obs/obs.h"
+
 namespace spin {
 namespace obs {
+
+// The sampling decision active for the current causal tree. A top-level
+// raise (no decision in scope) makes one — kTrace captures the whole tree,
+// kSkip suppresses it — and nested raises, async pool bodies, and wire
+// dispatches inherit it through TraceContext. kUndecided marks control-
+// plane work outside any raise (installs, rebuilds, watchdog reports),
+// which is always captured when the recorder is enabled.
+enum class SampleDecision : uint8_t {
+  kUndecided = 0,
+  kTrace = 1,
+  kSkip = 2,
+};
 
 // The causal context records are stamped with. span == 0 means "no span
 // active" (the record is an orphan); host == 0 means "no simulated host"
@@ -28,10 +42,40 @@ struct TraceContext {
   uint64_t span = 0;    // active span id
   uint64_t parent = 0;  // the active span's parent (0 = root span)
   uint32_t host = 0;    // RegisterTraceHost id of the active sim host
+  SampleDecision decision = SampleDecision::kUndecided;
 };
 
 // The context active on this thread. Mutate only through the scopes below.
 const TraceContext& CurrentContext();
+
+// Makes the per-tree sampling decision for a top-level raise: kTrace in
+// full mode, and every sample_rate-th call per thread in sampled mode (a
+// thread-local counter — no atomics, no clock read, deterministic on one
+// thread). Call only when Enabled() and CurrentContext().decision is
+// kUndecided; the caller installs the result with a SampleScope.
+SampleDecision DecideTopLevel();
+
+// True when records emitted from the current context should be captured:
+// the recorder is enabled and the active sampling decision (if any) is not
+// kSkip. Control-plane emission outside any raise is always captured.
+inline bool Capturing() {
+  return Enabled() && CurrentContext().decision != SampleDecision::kSkip;
+}
+
+// RAII install/restore of the sampling decision alone, leaving the active
+// span untouched. A top-level raise holds one of these for its entire
+// dispatch so the causal tree it creates — including async handoffs that
+// copy the context — inherits the decision.
+class SampleScope {
+ public:
+  explicit SampleScope(SampleDecision decision);
+  ~SampleScope();
+  SampleScope(const SampleScope&) = delete;
+  SampleScope& operator=(const SampleScope&) = delete;
+
+ private:
+  SampleDecision saved_;
+};
 
 // Allocates a fresh process-unique span id (never 0) and counts it as
 // started. The caller is responsible for eventually counting it completed

@@ -1,22 +1,36 @@
-// Prometheus-style text exposition of the system's metrics.
+// Prometheus-style text exposition and the snapshot/delta stats pipeline.
 //
 // ExportMetrics(os) writes, in the Prometheus text format:
+//   - a metadata preamble: one # HELP / # TYPE pair per metric family the
+//     system can emit, so the exposition passes a promtool-style lint
+//     (tools/validate_metrics.py) without each source carrying metadata;
 //   - per-event raise-latency summaries (p50/p90/p99/max + count/sum),
 //     one series per (event, dispatch kind) plus a merged kind="all"
 //     series, sourced from the obs::Registry histograms;
+//   - flight-recorder health, global and per-thread ring;
 //   - every registered external source. A source is a plain callback;
 //     the Dispatcher registers one per instance covering its Stats,
 //     ThreadPool queue depth / executed counts, EpochDomain reclamation
 //     lag, and QuotaManager per-module usage. The indirection keeps
 //     spin_obs free of dependencies on the layers it observes.
 //
+// The snapshot pipeline is the machine-readable sibling: CaptureStats()
+// collects every histogram and counter in one pass, Delta(a, b) turns two
+// snapshots into a rate window (counters subtract, gauges keep the newer
+// value, histograms subtract bucket-wise), and WriteJsonStats() emits the
+// JSON that tools/spin_top.py renders live.
+//
 // An HTTP scrape endpoint is one `ExportMetrics(response_body)` away; the
 // library deliberately stops at the stream so embedders choose the server.
 #ifndef SRC_OBS_EXPORT_H_
 #define SRC_OBS_EXPORT_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
+
+#include "src/obs/obs.h"
 
 namespace spin {
 namespace obs {
@@ -34,6 +48,51 @@ void ExportMetrics(std::ostream& os);
 // Escapes a Prometheus label value (backslash, quote, newline) into `os`.
 // Exposed for sources that build label pairs.
 void WriteLabelValue(std::ostream& os, const std::string& value);
+
+// --- Snapshot / delta ----------------------------------------------------
+
+// One (event, dispatch kind) latency distribution, aggregated across every
+// live instance with that event name (the exposition's aggregation rule).
+struct EventStat {
+  std::string event;
+  DispatchKind kind = DispatchKind::kDirect;
+  HistogramSnapshot hist;
+};
+
+// One counter or gauge sample, identified by its full series string
+// (name{labels}). `counter` follows the Prometheus naming convention:
+// *_total series accumulate and Delta subtracts them; everything else is
+// a gauge and Delta keeps the newer value.
+struct SeriesSample {
+  std::string series;
+  uint64_t value = 0;
+  bool counter = false;
+};
+
+struct StatsSnapshot {
+  uint64_t ts_ns = 0;      // monotonic capture time
+  uint64_t window_ns = 0;  // 0 on a capture; b.ts - a.ts on a Delta result
+  std::vector<EventStat> events;
+  std::vector<SeriesSample> series;
+};
+
+// Captures every per-event histogram and every exported counter/gauge in
+// one pass (the series list is built from the same sources the text
+// exposition uses, so the two never drift).
+StatsSnapshot CaptureStats();
+
+// The change from snapshot `a` to the later snapshot `b`: counters and
+// histogram buckets subtract (clamped at zero against concurrent resets),
+// gauges and histogram maxima take b's value, and window_ns is the elapsed
+// time — everything a rate display needs.
+StatsSnapshot Delta(const StatsSnapshot& a, const StatsSnapshot& b);
+
+// Serializes a snapshot as one JSON object:
+//   {"ts_ns":..,"window_ns":..,
+//    "events":[{"event":..,"kind":..,"count":..,"sum_ns":..,
+//               "p50_ns":..,"p90_ns":..,"p99_ns":..,"max_ns":..}],
+//    "series":[{"name":..,"value":..}]}
+void WriteJsonStats(std::ostream& os, const StatsSnapshot& snap);
 
 }  // namespace obs
 }  // namespace spin

@@ -9,6 +9,8 @@ namespace obs {
 namespace internal {
 
 std::atomic<bool> g_enabled{false};
+std::atomic<uint8_t> g_trace_mode{0};
+std::atomic<uint32_t> g_sample_rate{128};
 
 uint32_t ThreadIndexSlow() {
   static std::atomic<uint32_t> next{0};
@@ -18,7 +20,25 @@ uint32_t ThreadIndexSlow() {
 }  // namespace internal
 
 void SetEnabled(bool enabled) {
-  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+  TraceConfig config = GetTraceConfig();
+  config.mode = enabled ? TraceMode::kFull : TraceMode::kOff;
+  SetTraceConfig(config);
+}
+
+void SetTraceConfig(const TraceConfig& config) {
+  uint32_t rate = config.sample_rate == 0 ? 1 : config.sample_rate;
+  internal::g_sample_rate.store(rate, std::memory_order_relaxed);
+  internal::g_trace_mode.store(static_cast<uint8_t>(config.mode),
+                               std::memory_order_relaxed);
+  internal::g_enabled.store(config.mode != TraceMode::kOff,
+                            std::memory_order_relaxed);
+}
+
+TraceConfig GetTraceConfig() {
+  TraceConfig config;
+  config.mode = CurrentTraceMode();
+  config.sample_rate = internal::g_sample_rate.load(std::memory_order_relaxed);
+  return config;
 }
 
 const char* Intern(std::string_view s) {

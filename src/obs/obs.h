@@ -32,6 +32,8 @@ namespace obs {
 
 namespace internal {
 extern std::atomic<bool> g_enabled;
+extern std::atomic<uint8_t> g_trace_mode;
+extern std::atomic<uint32_t> g_sample_rate;
 // Small dense per-thread index used to pick a histogram stripe.
 uint32_t ThreadIndexSlow();
 inline uint32_t ThreadIndex() {
@@ -48,16 +50,52 @@ inline bool Enabled() {
 }
 void SetEnabled(bool enabled);
 
-// RAII enable/restore, for tests and short capture windows.
+// --- Sampled tracing ------------------------------------------------------
+//
+// Full tracing records every raise; sampled tracing records 1-in-N
+// *top-level* raises and everything they cause. The decision is made once
+// where a causal tree starts (a raise with no enclosing sampling decision)
+// with a thread-local counter — no atomics, no clock read — and is
+// inherited by nested raises, async pool handoffs, and wire-carried
+// dispatches, so every captured trace is a complete span tree and the
+// unsampled path costs only the decision branch.
+enum class TraceMode : uint8_t {
+  kOff = 0,      // no records, no spans (g_enabled false)
+  kSampled = 1,  // capture 1-in-sample_rate top-level raises
+  kFull = 2,     // capture everything (the historical EnableTracing(true))
+};
+
+struct TraceConfig {
+  TraceMode mode = TraceMode::kOff;
+  // kSampled: a thread captures every sample_rate-th top-level raise it
+  // makes. Clamped to >= 1; 1 behaves like kFull at the record level.
+  uint32_t sample_rate = 128;
+};
+
+// Installs the process-wide trace configuration. kOff clears the master
+// switch; kSampled/kFull set it. Note the obs layer only controls record
+// emission — Dispatcher::SetTracing additionally rebuilds dispatch tables
+// (full fidelity interprets; sampled keeps production stubs).
+void SetTraceConfig(const TraceConfig& config);
+TraceConfig GetTraceConfig();
+
+inline TraceMode CurrentTraceMode() {
+  return static_cast<TraceMode>(
+      internal::g_trace_mode.load(std::memory_order_relaxed));
+}
+
+// RAII enable/restore, for tests and short capture windows. Captures at
+// full fidelity; the previous TraceConfig (mode and rate) is restored on
+// exit.
 class EnableScope {
  public:
-  EnableScope() : prev_(Enabled()) { SetEnabled(true); }
-  ~EnableScope() { SetEnabled(prev_); }
+  EnableScope() : prev_(GetTraceConfig()) { SetEnabled(true); }
+  ~EnableScope() { SetTraceConfig(prev_); }
   EnableScope(const EnableScope&) = delete;
   EnableScope& operator=(const EnableScope&) = delete;
 
  private:
-  bool prev_;
+  TraceConfig prev_;
 };
 
 // Interns a string into a never-freed global table and returns a stable
@@ -174,9 +212,19 @@ class EventMetrics {
   HistogramSnapshot Merged() const;
   void Reset();
 
+  // Per-event slow-dispatch deadline in ns, maintained by the anomaly
+  // watchdog's monitor thread (derived from this event's observed p99,
+  // capped by the absolute deadline). 0 = no per-event deadline; the
+  // inline check falls back to the watchdog's absolute limit.
+  uint64_t slow_ns() const { return slow_ns_.load(std::memory_order_relaxed); }
+  void set_slow_ns(uint64_t ns) {
+    slow_ns_.store(ns, std::memory_order_relaxed);
+  }
+
  private:
   std::string name_;
   Histogram hist_[kNumDispatchKinds];
+  std::atomic<uint64_t> slow_ns_{0};
 };
 
 class Registry {

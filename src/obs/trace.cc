@@ -98,14 +98,15 @@ const char* TraceKindName(TraceKind kind) {
       return "remote_revoke";
     case TraceKind::kRemoteDispatch:
       return "remote_dispatch";
+    case TraceKind::kAnomaly:
+      return "anomaly";
   }
   return "unknown";
 }
 
 // A new TraceKind must bump kNumTraceKinds (and the unit test then insists
 // TraceKindName knows it).
-static_assert(static_cast<size_t>(TraceKind::kRemoteDispatch) + 1 ==
-                  kNumTraceKinds,
+static_assert(static_cast<size_t>(TraceKind::kAnomaly) + 1 == kNumTraceKinds,
               "kNumTraceKinds must track the TraceKind enum");
 
 FlightRecorder& FlightRecorder::Global() {
@@ -149,6 +150,13 @@ void FlightRecorder::EmitWith(TraceKind kind, const char* name,
                               uint64_t ts_ns, uint64_t arg, uint64_t span,
                               uint64_t parent) {
   if (!Enabled()) {
+    return;
+  }
+  // An unsampled causal tree emits nothing — not even orphans. The hot
+  // paths check the decision before reading the clock; this is the
+  // backstop for emission sites inside an unsampled raise (epoch reclaim,
+  // lazy promotion, remote internals).
+  if (CurrentContext().decision == SampleDecision::kSkip) {
     return;
   }
   if (span == 0) {
@@ -217,6 +225,30 @@ uint64_t FlightRecorder::TotalOverwrites() const {
     total += ring->overwrites.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+uint64_t FlightRecorder::TotalEmits() const {
+  uint64_t total = 0;
+  for (Ring* ring = rings_.load(std::memory_order_acquire); ring != nullptr;
+       ring = ring->next) {
+    total += ring->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<FlightRecorder::RingStats> FlightRecorder::PerRingStats() const {
+  std::vector<RingStats> stats;
+  for (Ring* ring = rings_.load(std::memory_order_acquire); ring != nullptr;
+       ring = ring->next) {
+    RingStats s;
+    s.tid = ring->tid;
+    s.emits = ring->head.load(std::memory_order_relaxed);
+    s.overwrites = ring->overwrites.load(std::memory_order_relaxed);
+    stats.push_back(s);
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const RingStats& a, const RingStats& b) { return a.tid < b.tid; });
+  return stats;
 }
 
 namespace {

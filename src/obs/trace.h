@@ -53,12 +53,15 @@ enum class TraceKind : uint8_t {
                    // arg = the token
   kRemoteDispatch,  // exporter accepted a wire-carried raise and is about
                     // to dispatch it; arg = request id
+  kAnomaly,         // watchdog-detected anomaly; name = the offending
+                    // source (event/pool/domain), arg = packed
+                    // (AnomalyKind << 32) | shard (see src/obs/watchdog.h)
 };
 
 // Count sentinel for exhaustiveness checks: must equal the number of
 // TraceKind enumerators. trace.cc static_asserts that it tracks the enum;
 // the unit test asserts every kind below it has a real name.
-inline constexpr size_t kNumTraceKinds = 22;
+inline constexpr size_t kNumTraceKinds = 23;
 
 const char* TraceKindName(TraceKind kind);
 
@@ -119,6 +122,19 @@ class FlightRecorder {
   // threads. A nonzero value means the capture window was too small for
   // the traffic — the trace is truncated, not complete.
   uint64_t TotalOverwrites() const;
+
+  // Records ever emitted since the last Reset, summed over all threads.
+  // With TotalOverwrites() this gives the drop rate of the capture window.
+  uint64_t TotalEmits() const;
+
+  // Per-thread ring health, for the {thread=...} metric series: which
+  // rings are dropping records, not just that some ring is.
+  struct RingStats {
+    uint32_t tid = 0;        // recorder-assigned dense thread id
+    uint64_t emits = 0;      // records written to this ring since Reset
+    uint64_t overwrites = 0; // records lost to wraparound since Reset
+  };
+  std::vector<RingStats> PerRingStats() const;
 
  private:
   struct Ring {

@@ -1,0 +1,288 @@
+#include "src/obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/context.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
+
+namespace spin {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_watchdog_armed{false};
+std::atomic<uint64_t> g_slow_ns{0};
+}  // namespace internal
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kSlowHandler:
+      return "slow_handler";
+    case AnomalyKind::kQueueStall:
+      return "queue_stall";
+    case AnomalyKind::kOutboxBacklog:
+      return "outbox_backlog";
+    case AnomalyKind::kEpochStall:
+      return "epoch_stall";
+    case AnomalyKind::kRetryStorm:
+      return "retry_storm";
+  }
+  return "unknown";
+}
+
+Watchdog& Watchdog::Global() {
+  static Watchdog* watchdog = new Watchdog();  // leaked
+  return *watchdog;
+}
+
+Watchdog::Watchdog() {
+  RegisterSource(this, &Watchdog::ExportMetricsSource);
+}
+
+void Watchdog::Arm(const WatchdogConfig& config) {
+  Disarm();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    config_ = config;
+    prev_.clear();
+    burst_used_ = false;
+    burst_active_ = false;
+    burst_polls_left_ = 0;
+    stop_ = false;
+  }
+  internal::g_slow_ns.store(config.slow_handler_ns,
+                            std::memory_order_relaxed);
+  internal::g_watchdog_armed.store(true, std::memory_order_relaxed);
+  if (config.period_ms != 0) {
+    monitor_ = std::thread([this] { MonitorLoop(); });
+  }
+}
+
+void Watchdog::Disarm() {
+  internal::g_watchdog_armed.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    if (burst_active_) {
+      SetTraceConfig(burst_saved_);
+      burst_active_ = false;
+      burst_polls_left_ = 0;
+    }
+  }
+  stop_cv_.notify_all();
+  if (monitor_.joinable()) {
+    monitor_.join();
+  }
+  // Clear derived per-event deadlines so a later re-arm starts fresh.
+  for (const auto& metrics : Registry::Global().List()) {
+    metrics->set_slow_ns(0);
+  }
+}
+
+void Watchdog::MonitorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    uint64_t period = config_.period_ms;
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(period),
+                      [this] { return stop_; });
+    if (stop_) {
+      return;
+    }
+    lock.unlock();
+    Poll();
+    lock.lock();
+  }
+}
+
+void Watchdog::Poll() {
+  std::vector<Probe> probes;
+  WatchdogConfig config;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probes = probes_;
+    config = config_;
+    if (burst_active_ && burst_polls_left_ > 0 && --burst_polls_left_ == 0) {
+      RetireBurstLocked();
+    }
+  }
+
+  std::vector<WatchSample> samples;
+  for (const Probe& probe : probes) {
+    probe.fn(probe.ctx, samples);
+  }
+
+  for (const WatchSample& s : samples) {
+    if (s.name == nullptr) {
+      continue;
+    }
+    SampleKey key{s.name, static_cast<uint8_t>(s.kind), s.shard};
+    PrevSample prev;
+    bool seen = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = prev_.find(key);
+      if (it != prev_.end()) {
+        prev = it->second;
+        seen = true;
+      }
+      prev_[key] = PrevSample{s.depth, s.progress};
+    }
+    switch (s.kind) {
+      case AnomalyKind::kQueueStall:
+        if (s.depth >= config.outbox_backlog && config.outbox_backlog != 0) {
+          Report(AnomalyKind::kOutboxBacklog, s.name, s.shard, s.depth);
+        }
+        // A queue with work and no progress across one full period is
+        // stalled; requires a previous observation so a freshly enqueued
+        // burst is not flagged before the worker had a period to drain it.
+        if (seen && s.depth > 0 && prev.depth > 0 &&
+            s.progress == prev.progress) {
+          Report(AnomalyKind::kQueueStall, s.name, s.shard, s.depth);
+        }
+        break;
+      case AnomalyKind::kEpochStall:
+        if (seen && s.depth >= config.epoch_stall_min &&
+            prev.depth >= config.epoch_stall_min &&
+            s.progress == prev.progress) {
+          Report(AnomalyKind::kEpochStall, s.name, s.shard, s.depth);
+        }
+        break;
+      case AnomalyKind::kRetryStorm:
+        if (seen && config.retry_storm != 0 &&
+            s.progress - prev.progress >= config.retry_storm) {
+          Report(AnomalyKind::kRetryStorm, s.name, s.shard,
+                 s.progress - prev.progress);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  RefreshSlowDeadlines();
+}
+
+void Watchdog::RefreshSlowDeadlines() {
+  WatchdogConfig config;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    config = config_;
+  }
+  if (config.slow_handler_ns == 0 || config.p99_factor <= 0) {
+    return;
+  }
+  for (const auto& metrics : Registry::Global().List()) {
+    HistogramSnapshot snap = metrics->Merged();
+    if (snap.count < config.min_samples) {
+      continue;
+    }
+    double derived = static_cast<double>(snap.Percentile(0.99)) *
+                     config.p99_factor;
+    uint64_t slow = derived >= static_cast<double>(config.slow_handler_ns)
+                        ? config.slow_handler_ns
+                        : static_cast<uint64_t>(derived);
+    slow = std::max(slow, config.slow_handler_floor_ns);
+    metrics->set_slow_ns(slow);
+  }
+}
+
+void Watchdog::Report(AnomalyKind kind, const char* name, uint32_t shard,
+                      uint64_t value) {
+  bool latch_burst = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_[{static_cast<uint8_t>(kind), shard}];
+    last_value_ = value;
+    if (config_.trace_burst && !burst_used_) {
+      burst_used_ = true;
+      burst_active_ = true;
+      burst_polls_left_ = config_.burst_periods == 0 ? 1
+                                                     : config_.burst_periods;
+      burst_saved_ = GetTraceConfig();
+      latch_burst = true;
+    }
+  }
+  if (latch_burst) {
+    TraceConfig full = burst_saved_;
+    full.mode = TraceMode::kFull;
+    SetTraceConfig(full);
+  }
+  // The anomaly record overrides the sampling decision: an incident inside
+  // an unsampled raise must still land in the flight recorder.
+  SampleScope sample(SampleDecision::kTrace);
+  FlightRecorder::Global().Emit(
+      TraceKind::kAnomaly, name,
+      (static_cast<uint64_t>(kind) << 32) | shard);
+}
+
+void Watchdog::RetireBurstLocked() {
+  SetTraceConfig(burst_saved_);
+  burst_active_ = false;
+}
+
+void Watchdog::RearmBurst() {
+  std::lock_guard<std::mutex> lock(mu_);
+  burst_used_ = false;
+}
+
+bool Watchdog::burst_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return burst_active_;
+}
+
+WatchdogConfig Watchdog::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+uint64_t Watchdog::last_value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_value_;
+}
+
+uint64_t Watchdog::Count(AnomalyKind kind, uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find({static_cast<uint8_t>(kind), shard});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t Watchdog::Count(AnomalyKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, count] : counts_) {
+    if (key.first == static_cast<uint8_t>(kind)) {
+      total += count;
+    }
+  }
+  return total;
+}
+
+void Watchdog::RegisterProbe(void* ctx, WatchProbeFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.push_back(Probe{ctx, fn});
+}
+
+void Watchdog::UnregisterProbe(void* ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.erase(std::remove_if(probes_.begin(), probes_.end(),
+                               [ctx](const Probe& p) { return p.ctx == ctx; }),
+                probes_.end());
+}
+
+void Watchdog::ExportMetricsSource(void* ctx, std::ostream& os) {
+  auto* self = static_cast<Watchdog*>(ctx);
+  std::map<std::pair<uint8_t, uint32_t>, uint64_t> counts;
+  {
+    std::lock_guard<std::mutex> lock(self->mu_);
+    counts = self->counts_;
+  }
+  for (const auto& [key, count] : counts) {
+    os << "spin_anomalies_total{kind=\""
+       << AnomalyKindName(static_cast<AnomalyKind>(key.first))
+       << "\",shard=\"" << key.second << "\"} " << count << "\n";
+  }
+}
+
+}  // namespace obs
+}  // namespace spin

@@ -144,12 +144,22 @@ void Exporter::OnDatagram(const net::Packet& packet) {
   // including every raise the dispatch triggers — records carry the wire
   // span from the request trailer, so the exporter side of the roundtrip
   // lands in the originating span tree. Adoption does not complete the
-  // span; it belongs to the raiser.
+  // span; it belongs to the raiser. The trailer doubles as the sampled
+  // bit: its presence means the raiser captured its side of the tree, so
+  // adopt with an explicit kTrace. Its absence under sampled mode means
+  // the raiser sampled the tree out — pin kSkip so this host's half emits
+  // nothing either and a sampled capture never holds half a roundtrip.
+  // Under full mode a trailer-less request (an old-format client) keeps
+  // today's behavior: the dispatch opens its own fresh root.
   std::optional<obs::SpanScope> span_scope;
+  std::optional<obs::SampleScope> sample_scope;
   if (obs::Enabled() && request.span_id != 0) {
     span_scope.emplace(
-        obs::TraceContext{request.span_id, 0, host_.trace_host_id()},
+        obs::TraceContext{request.span_id, 0, host_.trace_host_id(),
+                          obs::SampleDecision::kTrace},
         /*complete_on_exit=*/false);
+  } else if (obs::GetTraceConfig().mode == obs::TraceMode::kSampled) {
+    sample_scope.emplace(obs::SampleDecision::kSkip);
   }
 
   DedupKey key{packet.ip_src(), packet.src_port(),

@@ -23,7 +23,8 @@ EventProxy::EventProxy(net::Host& host, sim::Simulator* sim,
       plan_(PlanFor(event.sig(), event.name())),
       module_(opts.module_name.empty() ? "Remote.Proxy." + event.name()
                                        : opts.module_name),
-      obs_name_(event.obs_name()) {
+      obs_name_(event.obs_name()),
+      watch_name_(obs::Intern("proxy/" + event.name())) {
   if (opts_.kind == RaiseKind::kAsync) {
     // §2.6 across the wire: a detached raise can return nothing and must
     // not reference raiser memory after the raiser has moved on.
@@ -66,9 +67,11 @@ EventProxy::EventProxy(net::Host& host, sim::Simulator* sim,
     host_.dispatcher().ImposeMicroGuard(binding_, std::move(prog));
   }
   obs::RegisterSource(this, &EventProxy::ExportMetricsSource);
+  obs::Watchdog::Global().RegisterProbe(this, &EventProxy::WatchdogProbeSource);
 }
 
 EventProxy::~EventProxy() {
+  obs::Watchdog::Global().UnregisterProbe(this);
   obs::UnregisterSource(this);
   if (binding_ != nullptr && binding_->active.load()) {
     host_.dispatcher().Uninstall(binding_, &module_);
@@ -177,10 +180,12 @@ uint64_t EventProxy::RaiseSync(uint64_t* slots) {
   // The whole roundtrip — marshal, sends, retries, the reply join — runs
   // under one wire span, a child of the raising span, attributed to this
   // host. The span id travels in the request trailer so the exporter-side
-  // records join the same tree.
+  // records join the same tree. An unsampled raise sends no trailer at
+  // all — trailer presence IS the wire's sampled bit — so the exporter
+  // skips its side of the tree too.
   std::optional<obs::HostScope> host_scope;
   std::optional<obs::SpanScope> wire_scope;
-  if (obs::Enabled()) {
+  if (obs::Capturing()) {
     host_scope.emplace(host_.trace_host_id());
     wire_scope.emplace();
   }
@@ -285,9 +290,10 @@ void EventProxy::EnqueueAsync(const uint64_t* slots) {
   request.args.assign(slots, slots + plan_.params.size());
   // Fire-and-forget still gets a wire span: a child of the raising (pool
   // thread's) span, announced by the marshal record here, flow-started by
-  // Flush()'s kRemoteSend, and joined exporter-side via the trailer.
+  // Flush()'s kRemoteSend, and joined exporter-side via the trailer. An
+  // unsampled raise gets no span and ships no trailer.
   std::optional<obs::SpanScope> wire_scope;
-  if (obs::Enabled()) {
+  if (obs::Capturing()) {
     wire_scope.emplace();
     request.span_id = wire_scope->span();
     request.origin_host = host_.trace_host_id();
@@ -322,8 +328,9 @@ size_t EventProxy::Flush() {
     socket_->SendTo(opts_.remote_ip, opts_.remote_port, entry.encoded);
     // The send belongs to the entry's wire span (allocated on the pool
     // thread at marshal time), not to whatever span this simulation-thread
-    // caller happens to be under.
-    if (obs::Enabled()) {
+    // caller happens to be under. Entries marshaled under a sampled-out
+    // raise carry span 0 and emit nothing.
+    if (obs::Enabled() && entry.span != 0) {
       obs::FlightRecorder::Global().EmitWith(obs::TraceKind::kRemoteSend,
                                              obs_name_, NowNs(), 0,
                                              entry.span, 0);
@@ -368,6 +375,28 @@ void EventProxy::OnDatagram(const net::Packet& packet) {
     default:
       return;  // requests/bind-requests are the exporter's business
   }
+}
+
+void EventProxy::WatchdogProbeSource(void* ctx,
+                                     std::vector<obs::WatchSample>& out) {
+  auto* self = static_cast<EventProxy*>(ctx);
+  obs::WatchSample retry;
+  retry.kind = obs::AnomalyKind::kRetryStorm;
+  retry.name = self->watch_name_;
+  retry.shard = 0;
+  retry.depth = self->timeouts_;
+  retry.progress = self->retries_;
+  out.push_back(retry);
+  obs::WatchSample backlog;
+  backlog.kind = obs::AnomalyKind::kQueueStall;
+  backlog.name = self->watch_name_;
+  backlog.shard = 0;
+  {
+    std::lock_guard<std::mutex> lock(self->outbox_mu_);
+    backlog.depth = self->outbox_.size();
+  }
+  backlog.progress = self->raises_;
+  out.push_back(backlog);
 }
 
 void EventProxy::ExportMetricsSource(void* ctx, std::ostream& os) {

@@ -59,6 +59,7 @@
 #include "src/core/dispatcher.h"
 #include "src/net/host.h"
 #include "src/obs/obs.h"
+#include "src/obs/watchdog.h"
 #include "src/remote/marshal.h"
 #include "src/remote/wire_format.h"
 #include "src/sim/simulator.h"
@@ -140,6 +141,11 @@ class EventProxy {
   void OnDatagram(const net::Packet& packet);
   static void ExportMetricsSource(void* ctx, std::ostream& os);
 
+  // Anomaly-watchdog probe: reports the retry counter (the watchdog's rate
+  // rule flags a retry storm) and the async outbox backlog each period.
+  static void WatchdogProbeSource(void* ctx,
+                                  std::vector<obs::WatchSample>& out);
+
   net::Host& host_;
   sim::Simulator* sim_;
   EventBase& event_;
@@ -149,6 +155,7 @@ class EventProxy {
   std::unique_ptr<net::UdpSocket> socket_;
   BindingHandle binding_;
   const char* obs_name_;  // interned event name for trace records
+  const char* watch_name_;  // interned "proxy/<event>" for watchdog samples
 
   uint64_t next_id_ = 1;  // re-seeded from virtual time at construction
   uint64_t token_ = 0;  // capability granted by the bind handshake

@@ -24,9 +24,14 @@
 //             argc x value(8) [by-value: the 64-bit argument slot;
 //                              by-ref: the pointee scalar widened to 64 bits]
 //             [span_id(8) origin_host(4)]  -- optional causal-trace trailer:
-//             present iff the raiser had tracing on (span_id != 0); absent
-//             frames decode with a null span, so v2 peers interoperate both
-//             ways. A present trailer with span_id == 0 is malformed.
+//             present iff the raiser captured this raise (span_id != 0);
+//             absent frames decode with a null span, so v2 peers
+//             interoperate both ways. A present trailer with span_id == 0
+//             is malformed. Trailer presence doubles as the wire's sampled
+//             bit: under sampled tracing the raiser omits the trailer for
+//             sampled-out raises and the exporter pins the skip, so a
+//             sampled causal tree is captured whole on both hosts or on
+//             neither — no format change, no new flag byte.
 //   reply:    status(1)  request_id(8)  result(8)  nbyref(1)
 //             nbyref x value(8)  [copy-out values of VAR params, in order]
 //             errlen(2)  error

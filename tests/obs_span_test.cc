@@ -219,6 +219,224 @@ TEST(SpanTest, SpanStatsAccumulateAndExport) {
   obs::FlightRecorder::Global().Reset();
 }
 
+// --- Sampled tracing ------------------------------------------------------
+
+// Resets the thread-local sampling countdown: at rate 1 the next decision
+// always fires and zeroes it, making every test below independent of how
+// many top-level decisions earlier tests made on this thread.
+void ResetSampleCountdown() {
+  obs::TraceConfig config{obs::TraceMode::kSampled, 1};
+  obs::SetTraceConfig(config);
+  (void)obs::DecideTopLevel();
+  config.mode = obs::TraceMode::kOff;
+  obs::SetTraceConfig(config);
+}
+
+constexpr obs::TraceKind kRaiseKinds[] = {
+    obs::TraceKind::kRaiseBegin,   obs::TraceKind::kRaiseEnd,
+    obs::TraceKind::kHandlerFire,  obs::TraceKind::kGuardReject,
+    obs::TraceKind::kAsyncEnqueue, obs::TraceKind::kAsyncExecute,
+};
+
+bool IsRaiseKind(obs::TraceKind kind) {
+  for (obs::TraceKind k : kRaiseKinds) {
+    if (k == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// A dispatcher wired so one top-level raise produces a three-limb causal
+// tree: a sync handler that raises a nested event, and an async handler.
+struct SampleFixture {
+  Dispatcher dispatcher;
+  Module module{"SampleTest"};
+  Event<void(int64_t)> outer;
+  Event<void(int64_t)> inner;
+  NestCtx ctx;
+
+  SampleFixture()
+      : outer("Sample.Outer", &module, nullptr, &dispatcher),
+        inner("Sample.Inner", &module, nullptr, &dispatcher) {
+    ctx.inner = &inner;
+    dispatcher.InstallHandler(outer, &OuterHandler, &ctx,
+                              {.module = &module});
+    dispatcher.InstallHandler(outer, &AsyncHandler, &ctx,
+                              {.async = true, .module = &module});
+    dispatcher.InstallHandler(inner, &InnerHandler, &ctx,
+                              {.module = &module});
+  }
+
+  void RaiseAndDrain(int64_t v) {
+    outer.Raise(v);
+    dispatcher.pool().Drain();
+  }
+};
+
+TEST(SampleTest, SampledModeCapturesEveryNthTreeWhole) {
+  obs::FlightRecorder::Global().Reset();
+  SampleFixture fx;
+  ResetSampleCountdown();
+
+  fx.dispatcher.SetTracing({obs::TraceMode::kSampled, 4});
+  for (int i = 0; i < 16; ++i) {
+    fx.RaiseAndDrain(i);
+  }
+  fx.dispatcher.SetTracing({obs::TraceMode::kOff});
+
+  auto records = obs::FlightRecorder::Global().Snapshot();
+
+  // Exactly every 4th top-level raise was captured (the per-thread
+  // countdown is deterministic), and nested raises never re-decide.
+  size_t outer_roots = 0;
+  std::vector<uint64_t> roots;
+  for (const obs::MergedRecord& m : records) {
+    if (m.rec.kind == obs::TraceKind::kRaiseBegin &&
+        std::string(m.rec.name) == "Sample.Outer") {
+      ++outer_roots;
+      EXPECT_EQ(m.rec.parent, 0u);
+      roots.push_back(m.rec.span);
+    }
+  }
+  EXPECT_EQ(outer_roots, 4u) << "16 raises at 1-in-4";
+
+  // Completeness: no raise-path record escapes a span (zero orphans), and
+  // every captured tree carries all three limbs.
+  for (const obs::MergedRecord& m : records) {
+    if (IsRaiseKind(m.rec.kind)) {
+      EXPECT_NE(m.rec.span, 0u)
+          << obs::TraceKindName(m.rec.kind) << " record outside any span";
+    }
+  }
+  obs::TraceQuery query(records);
+  for (uint64_t root : roots) {
+    std::set<obs::TraceKind> kinds;
+    std::set<std::string> names;
+    for (const obs::MergedRecord& m : query.SpanTree(root)) {
+      kinds.insert(m.rec.kind);
+      names.insert(m.rec.name);
+    }
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kAsyncEnqueue)) << root;
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kAsyncExecute))
+        << "sampled decision must survive the pool handoff";
+    EXPECT_TRUE(names.count("Sample.Inner"))
+        << "the nested raise inherits the sampled decision";
+  }
+  obs::FlightRecorder::Global().Reset();
+}
+
+TEST(SampleTest, UnsampledRaisesEmitNothing) {
+  SampleFixture fx;
+  ResetSampleCountdown();
+  obs::FlightRecorder::Global().Reset();
+
+  fx.dispatcher.SetTracing({obs::TraceMode::kSampled, 1u << 30});
+  for (int i = 0; i < 100; ++i) {
+    fx.RaiseAndDrain(i);
+  }
+  fx.dispatcher.SetTracing({obs::TraceMode::kOff});
+
+  auto records = obs::FlightRecorder::Global().Snapshot();
+  for (const obs::MergedRecord& m : records) {
+    EXPECT_FALSE(IsRaiseKind(m.rec.kind))
+        << obs::TraceKindName(m.rec.kind)
+        << " leaked from a sampled-out raise";
+  }
+}
+
+TEST(SampleTest, RateOneSamplingCapturesEveryRaise) {
+  SampleFixture fx;
+  ResetSampleCountdown();
+  obs::FlightRecorder::Global().Reset();
+
+  fx.dispatcher.SetTracing({obs::TraceMode::kSampled, 1});
+  for (int i = 0; i < 5; ++i) {
+    fx.RaiseAndDrain(i);
+  }
+  fx.dispatcher.SetTracing({obs::TraceMode::kOff});
+
+  size_t outer_roots = 0;
+  for (const obs::MergedRecord& m :
+       obs::FlightRecorder::Global().Snapshot()) {
+    if (m.rec.kind == obs::TraceKind::kRaiseBegin &&
+        std::string(m.rec.name) == "Sample.Outer") {
+      ++outer_roots;
+    }
+  }
+  EXPECT_EQ(outer_roots, 5u);
+  obs::FlightRecorder::Global().Reset();
+}
+
+TEST(SampleTest, FullModeIgnoresSampleRate) {
+  SampleFixture fx;
+  ResetSampleCountdown();
+  obs::FlightRecorder::Global().Reset();
+
+  fx.dispatcher.SetTracing({obs::TraceMode::kFull, 1u << 30});
+  for (int i = 0; i < 5; ++i) {
+    fx.RaiseAndDrain(i);
+  }
+  fx.dispatcher.SetTracing({obs::TraceMode::kOff});
+
+  size_t outer_roots = 0;
+  for (const obs::MergedRecord& m :
+       obs::FlightRecorder::Global().Snapshot()) {
+    if (m.rec.kind == obs::TraceKind::kRaiseBegin &&
+        std::string(m.rec.name) == "Sample.Outer") {
+      ++outer_roots;
+    }
+  }
+  EXPECT_EQ(outer_roots, 5u);
+  obs::FlightRecorder::Global().Reset();
+}
+
+TEST(SampleTest, SampledModeKeepsProductionTables) {
+  SampleFixture fx;
+  fx.dispatcher.SetTracing({obs::TraceMode::kSampled, 128});
+  EXPECT_FALSE(fx.dispatcher.tracing())
+      << "sampled mode must not suppress stubs and the direct bypass";
+  fx.dispatcher.SetTracing({obs::TraceMode::kFull, 128});
+  EXPECT_TRUE(fx.dispatcher.tracing());
+  fx.dispatcher.SetTracing({obs::TraceMode::kOff});
+  EXPECT_FALSE(fx.dispatcher.tracing());
+}
+
+TEST(SampleTest, PerRingEmitAndOverwriteExport) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  recorder.Reset(16);
+  {
+    obs::EnableScope enable;
+    const char* name = obs::Intern("Sample.Ring");
+    for (uint64_t i = 0; i < 40; ++i) {
+      recorder.EmitAt(obs::TraceKind::kHandlerFire, name, i, i);
+    }
+  }
+  EXPECT_EQ(recorder.TotalEmits(), 40u);
+  EXPECT_EQ(recorder.TotalOverwrites(), 24u);
+  auto rings = recorder.PerRingStats();
+  ASSERT_FALSE(rings.empty());
+  uint64_t emits = 0;
+  for (const auto& ring : rings) {
+    emits += ring.emits;
+  }
+  EXPECT_EQ(emits, 40u);
+
+  std::ostringstream os;
+  obs::ExportMetrics(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("spin_trace_emits_total{recorder=\"global\"} 40"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spin_trace_overwrites_total{thread=\""),
+            std::string::npos)
+      << "per-ring overwrite series missing";
+  EXPECT_NE(text.find("spin_trace_emits_total{thread=\""),
+            std::string::npos)
+      << "per-ring emit series missing";
+  recorder.Reset(obs::FlightRecorder::kDefaultCapacity);
+}
+
 // --- TraceQuery over a synthetic timeline ---------------------------------
 
 obs::MergedRecord Synth(uint64_t ts, uint64_t span, uint64_t parent,

@@ -164,6 +164,110 @@ TEST(RemoteTraceTest, OneRaiseYieldsOneSpanTreeAcrossHostsAndThreads) {
   obs::FlightRecorder::Global().Reset();
 }
 
+// Sampled tracing across the wire: the trailer doubles as the sampled
+// bit, so a sampled tree is captured whole on both hosts and an unsampled
+// raise leaves zero records anywhere — while every raise still executes.
+TEST(RemoteTraceTest, SampledTreesCrossTheWireWholeOrNotAtAll) {
+  obs::FlightRecorder::Global().Reset();
+
+  Dispatcher dispatcher;
+  sim::Simulator sim;
+  net::Wire wire{&sim, sim::LinkModel{}};
+  net::Host client_host{"sample-client", 0x0a000201, &dispatcher};
+  net::Host server_host{"sample-server", 0x0a000202, &dispatcher};
+  wire.Attach(client_host, server_host);
+  Exporter exporter{server_host};
+
+  TraceCtx ctx;
+  Event<void(uint64_t)> server_ev("Sample.Op", nullptr, nullptr,
+                                  &dispatcher);
+  dispatcher.InstallHandler(server_ev, &ServerSync, &ctx);
+  exporter.Export(server_ev);
+
+  Event<void(uint64_t)> client_ev("Sample.Op", nullptr, nullptr,
+                                  &dispatcher);
+  dispatcher.InstallHandler(client_ev, &LocalSync, &ctx);
+  ProxyOptions opts;
+  opts.remote_ip = server_host.ip();
+  opts.local_port = 9045;
+  EventProxy proxy(client_host, &sim, client_ev, opts);
+
+  // Reset the thread-local sampling countdown so the capture pattern
+  // below is independent of earlier tests: at rate 1 the next decision
+  // fires and zeroes it.
+  obs::SetTraceConfig({obs::TraceMode::kSampled, 1});
+  (void)obs::DecideTopLevel();
+
+  obs::FlightRecorder::Global().Reset();  // drop the handshake records
+  dispatcher.SetTracing({obs::TraceMode::kSampled, 3});
+  for (uint64_t i = 0; i < 9; ++i) {
+    obs::HostScope on_client(client_host.trace_host_id());
+    client_ev.Raise(i);
+  }
+  dispatcher.SetTracing({obs::TraceMode::kOff});
+
+  EXPECT_EQ(ctx.local_sync.load(), 9) << "sampling never drops dispatches";
+  EXPECT_EQ(ctx.server_sync.load(), 9);
+
+  auto records = obs::FlightRecorder::Global().Snapshot();
+  obs::TraceQuery query(records);
+
+  // Control-plane records (rebuilds, stub compiles — SetTracing itself
+  // rebuilds every table) legitimately carry no span; everything on the
+  // raise and wire paths must sit inside a sampled tree.
+  const std::set<obs::TraceKind> raise_kinds = {
+      obs::TraceKind::kRaiseBegin,    obs::TraceKind::kRaiseEnd,
+      obs::TraceKind::kHandlerFire,   obs::TraceKind::kGuardReject,
+      obs::TraceKind::kAsyncEnqueue,  obs::TraceKind::kAsyncExecute,
+      obs::TraceKind::kRemoteMarshal, obs::TraceKind::kRemoteSend,
+      obs::TraceKind::kRemoteDispatch, obs::TraceKind::kRemoteReply,
+      obs::TraceKind::kRemoteRetry,   obs::TraceKind::kRemoteTimeout,
+  };
+  std::vector<uint64_t> roots;
+  size_t dispatches = 0;
+  size_t replies = 0;
+  for (const obs::MergedRecord& m : records) {
+    if (m.rec.kind == obs::TraceKind::kRaiseBegin && m.rec.parent == 0 &&
+        std::string(m.rec.name) == "Sample.Op") {
+      roots.push_back(m.rec.span);
+    }
+    if (m.rec.kind == obs::TraceKind::kRemoteDispatch) {
+      ++dispatches;
+    }
+    if (m.rec.kind == obs::TraceKind::kRemoteReply) {
+      ++replies;
+    }
+    if (raise_kinds.count(m.rec.kind)) {
+      EXPECT_NE(m.rec.span, 0u) << obs::TraceKindName(m.rec.kind)
+                                << " escaped the sampled trees";
+    }
+  }
+  EXPECT_EQ(roots.size(), 3u) << "9 raises at 1-in-3";
+  EXPECT_EQ(dispatches, 3u)
+      << "the exporter must capture exactly the sampled raises";
+  EXPECT_EQ(replies, 3u);
+
+  // Each sampled tree holds the whole roundtrip: both hosts, the wire
+  // span, and the server-side dispatch.
+  for (uint64_t root : roots) {
+    std::set<obs::TraceKind> kinds;
+    std::set<uint32_t> hosts;
+    for (const obs::MergedRecord& m : query.SpanTree(root)) {
+      kinds.insert(m.rec.kind);
+      if (m.rec.host != 0) {
+        hosts.insert(m.rec.host);
+      }
+    }
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kRemoteMarshal)) << root;
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kRemoteSend)) << root;
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kRemoteDispatch)) << root;
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kRemoteReply)) << root;
+    EXPECT_TRUE(hosts.count(client_host.trace_host_id()));
+    EXPECT_TRUE(hosts.count(server_host.trace_host_id()));
+  }
+  obs::FlightRecorder::Global().Reset();
+}
+
 // An untraced raise still crosses the wire (the trailer is simply absent),
 // and old-format frames without the trailer decode fine.
 TEST(RemoteTraceTest, TracingOffFramesCarryNoTrailer) {

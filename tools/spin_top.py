@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Live terminal view over the stats JSON that obs::WriteJsonStats emits.
+
+The input is JSON-lines: one StatsSnapshot object per line, either delta
+snapshots (window_ns != 0, written by an embedder that calls
+obs::Delta before serializing) or raw cumulative captures (window_ns ==
+0), in which case spin_top computes the window itself from the last two
+lines: counter series (name ends in `_total`) and event count/sum
+subtract, gauges and the latency percentiles show the newest capture.
+
+Per refresh it renders the busiest events — raise rate, mean, p50/p90/p99
+and max latency over the window — plus the anomaly counters and a short
+set of health series (pool depth, epoch backlog, trace drops).
+
+Usage:
+  spin_top.py stats.jsonl              # refresh every 2s (top-style)
+  spin_top.py --interval 0.5 stats.jsonl
+  spin_top.py --once stats.jsonl       # render once and exit (CI smoke)
+"""
+
+import argparse
+import json
+import sys
+import time
+
+HEALTH_PREFIXES = (
+    "spin_anomalies_total",
+    "spin_pool_queue_depth",
+    "spin_pool_pending",
+    "spin_epoch_retired",
+    "spin_trace_overwrites_total",
+    "spin_remote_client_retries_total",
+    "spin_remote_client_timeouts_total",
+)
+
+
+def load_snapshots(path):
+    snaps = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snaps.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{lineno}: bad JSON: {e}")
+    return snaps
+
+
+def delta(a, b):
+    """Python twin of obs::Delta for raw cumulative captures."""
+    out = {
+        "ts_ns": b["ts_ns"],
+        "window_ns": max(0, b["ts_ns"] - a["ts_ns"]),
+        "events": [],
+        "series": [],
+    }
+    prev_events = {(e["event"], e["kind"]): e for e in a.get("events", [])}
+    for ev in b.get("events", []):
+        prev = prev_events.get((ev["event"], ev["kind"]))
+        d = dict(ev)
+        if prev:
+            d["count"] = max(0, ev["count"] - prev["count"])
+            d["sum_ns"] = max(0, ev["sum_ns"] - prev["sum_ns"])
+        if d["count"] > 0:
+            out["events"].append(d)
+    prev_series = {s["name"]: s["value"] for s in a.get("series", [])}
+    for s in b.get("series", []):
+        value = s["value"]
+        base = s["name"].split("{", 1)[0]
+        if base.endswith("_total"):
+            value = max(0, value - prev_series.get(s["name"], 0))
+        out["series"].append({"name": s["name"], "value": value})
+    return out
+
+
+def window_view(snaps):
+    last = snaps[-1]
+    if last.get("window_ns", 0) != 0 or len(snaps) < 2:
+        return last
+    return delta(snaps[-2], last)
+
+
+def fmt_ns(ns):
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.1f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns}ns"
+
+
+def render(view, out=sys.stdout):
+    window_ns = view.get("window_ns", 0)
+    window_s = window_ns / 1e9 if window_ns else 0.0
+    out.write(f"spin_top — window {fmt_ns(window_ns)}   "
+              f"ts {view.get('ts_ns', 0)}\n\n")
+
+    events = sorted(view.get("events", []), key=lambda e: -e["count"])
+    out.write(f"{'EVENT':<32} {'KIND':<12} {'RAISES/S':>10} {'MEAN':>8} "
+              f"{'P50':>8} {'P90':>8} {'P99':>8} {'MAX':>9}\n")
+    if not events:
+        out.write("  (no raises in window)\n")
+    for ev in events[:24]:
+        rate = ev["count"] / window_s if window_s else float(ev["count"])
+        mean = ev["sum_ns"] / ev["count"] if ev["count"] else 0
+        out.write(f"{ev['event'][:32]:<32} {ev['kind'][:12]:<12} "
+                  f"{rate:>10.0f} {fmt_ns(int(mean)):>8} "
+                  f"{fmt_ns(ev['p50_ns']):>8} {fmt_ns(ev['p90_ns']):>8} "
+                  f"{fmt_ns(ev['p99_ns']):>8} {fmt_ns(ev['max_ns']):>9}\n")
+
+    health = [s for s in view.get("series", [])
+              if s["name"].startswith(HEALTH_PREFIXES) and s["value"] != 0]
+    out.write("\nhealth:\n")
+    if not health:
+        out.write("  all quiet (no anomalies, no backlog, no drops)\n")
+    for s in health[:16]:
+        out.write(f"  {s['name']:<60} {s['value']}\n")
+    out.flush()
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="top-style view over spin stats JSON")
+    parser.add_argument("path", help="stats JSON-lines file")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh period in seconds")
+    parser.add_argument("--once", action="store_true",
+                        help="render one frame and exit (CI smoke)")
+    args = parser.parse_args(argv[1:])
+
+    while True:
+        try:
+            snaps = load_snapshots(args.path)
+        except (OSError, ValueError) as e:
+            print(e, file=sys.stderr)
+            return 1
+        if not snaps:
+            print(f"{args.path}: no snapshots", file=sys.stderr)
+            return 1
+        if not args.once:
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+        render(window_view(snaps))
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Promtool-style lint for the Prometheus exposition text that
+obs::ExportMetrics writes.
+
+Checks, per input:
+  1. Every line is a well-formed comment, HELP, TYPE, or sample line.
+  2. Metric and label names match the Prometheus grammar; label values
+     escape `\\`, `"` and newlines.
+  3. Every sample belongs to a declared family: an exact TYPE match, or a
+     `_count` / `_sum` suffix of a summary family, or a `_bucket` suffix
+     of a histogram family. An exact match wins over suffix stripping
+     (spin_event_raise_ns_max is its own gauge family, not part of the
+     spin_event_raise_ns summary).
+  4. HELP and TYPE come in pairs, at most once per family, and before the
+     family's first sample.
+  5. Counter family names end in `_total`; summary quantile samples carry
+     a `quantile` label; `_count` / `_sum` / `_bucket` samples do not.
+  6. No duplicate series: a (name, labelset) pair appears at most once.
+  7. Sample values parse as numbers (inf/nan allowed).
+
+Exit status 0 when every input passes; 1 otherwise, with one line per
+failure. Usage: validate_metrics.py [metrics.prom ...]  (stdin if no
+files are given)
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label: name="value" with \\, \" and \n escapes inside the value.
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\[\\"n])*)"')
+SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+\d+)?$")
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_labels(raw, where, errors):
+    """Returns the labelset as a sorted tuple, or None on a syntax error."""
+    labels = []
+    pos = 0
+    while pos < len(raw):
+        m = LABEL.match(raw, pos)
+        if not m:
+            errors.append(f"{where}: bad label syntax at '{raw[pos:]}'")
+            return None
+        labels.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                errors.append(f"{where}: expected ',' at '{raw[pos:]}'")
+                return None
+            pos += 1
+    names = [name for name, _ in labels]
+    if len(names) != len(set(names)):
+        errors.append(f"{where}: duplicate label name in {{{raw}}}")
+        return None
+    return tuple(sorted(labels))
+
+
+def resolve_family(name, types):
+    """Maps a sample name to its declaring family, or None."""
+    if name in types:
+        return name
+    for suffix in ("_count", "_sum"):
+        base = name[: -len(suffix)]
+        if name.endswith(suffix) and types.get(base) in ("summary",
+                                                         "histogram"):
+            return base
+    base = name[: -len("_bucket")]
+    if name.endswith("_bucket") and types.get(base) == "histogram":
+        return base
+    return None
+
+
+def validate(name, text):
+    errors = []
+    helps = {}
+    types = {}
+    sampled = set()  # families that already emitted a sample
+    seen_series = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"{name}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # plain comment
+            if len(parts) < 3:
+                errors.append(f"{where}: {parts[1]} with no metric name")
+                continue
+            family = parts[2]
+            if not METRIC_NAME.match(family):
+                errors.append(f"{where}: bad metric name '{family}'")
+                continue
+            table = helps if parts[1] == "HELP" else types
+            if family in table:
+                errors.append(f"{where}: duplicate {parts[1]} for {family}")
+            if family in sampled:
+                errors.append(
+                    f"{where}: {parts[1]} for {family} after its samples")
+            if parts[1] == "HELP":
+                if len(parts) < 4 or not parts[3].strip():
+                    errors.append(f"{where}: empty HELP text for {family}")
+                helps[family] = lineno
+            else:
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in TYPES:
+                    errors.append(f"{where}: bad TYPE '{kind}' for {family}")
+                types[family] = kind
+                if kind == "counter" and not family.endswith("_total"):
+                    errors.append(
+                        f"{where}: counter {family} does not end in _total")
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        sample_name, raw_labels, value = m.groups()
+        labels = parse_labels(raw_labels or "", where, errors)
+        if labels is None:
+            continue
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"{where}: bad sample value '{value}'")
+        family = resolve_family(sample_name, types)
+        if family is None:
+            errors.append(
+                f"{where}: sample {sample_name} has no TYPE declaration")
+        else:
+            sampled.add(family)
+            label_names = {k for k, _ in labels}
+            is_suffix = sample_name != family
+            if types[family] in ("summary", "histogram"):
+                if is_suffix and "quantile" in label_names:
+                    errors.append(
+                        f"{where}: {sample_name} must not carry 'quantile'")
+                if (types[family] == "summary" and not is_suffix
+                        and "quantile" not in label_names):
+                    errors.append(
+                        f"{where}: summary sample {sample_name} without "
+                        f"'quantile' label")
+        series = (sample_name, labels)
+        if series in seen_series:
+            errors.append(f"{where}: duplicate series {line.split(' ')[0]}")
+        seen_series.add(series)
+
+    for family in helps:
+        if family not in types:
+            errors.append(f"{name}: HELP without TYPE for {family}")
+    for family in types:
+        if family not in helps:
+            errors.append(f"{name}: TYPE without HELP for {family}")
+    if not seen_series:
+        errors.append(f"{name}: no samples found")
+    return errors
+
+
+def main(argv):
+    failures = []
+    inputs = 0
+    if len(argv) > 1:
+        for path in argv[1:]:
+            inputs += 1
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    failures.extend(validate(path, f.read()))
+            except OSError as e:
+                failures.append(f"{path}: {e}")
+    else:
+        inputs = 1
+        failures.extend(validate("<stdin>", sys.stdin.read()))
+    for line in failures:
+        print(line, file=sys.stderr)
+    if not failures:
+        print(f"OK: {inputs} exposition input(s) valid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
