@@ -49,6 +49,7 @@ void Watchdog::Arm(const WatchdogConfig& config) {
     burst_used_ = false;
     burst_active_ = false;
     burst_polls_left_ = 0;
+    burst_latch_seq_ = 0;
     stop_ = false;
   }
   internal::g_slow_ns.store(config.slow_handler_ns,
@@ -98,13 +99,13 @@ void Watchdog::MonitorLoop() {
 void Watchdog::Poll() {
   std::vector<Probe> probes;
   WatchdogConfig config;
+  uint64_t seq;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    seq = ++poll_seq_;
+    ++polls_in_flight_;
     probes = probes_;
     config = config_;
-    if (burst_active_ && burst_polls_left_ > 0 && --burst_polls_left_ == 0) {
-      RetireBurstLocked();
-    }
   }
 
   std::vector<WatchSample> samples;
@@ -161,6 +162,22 @@ void Watchdog::Poll() {
   }
 
   RefreshSlowDeadlines();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Retire the burst only on passes that started after the latch
+    // (burst_latch_seq_ < seq), and only once the pass has fully run at
+    // full fidelity — so a burst latched moments before or during a poll
+    // still captures at least one complete probe pass.
+    if (burst_active_ && burst_polls_left_ > 0 && burst_latch_seq_ < seq &&
+        --burst_polls_left_ == 0) {
+      RetireBurstLocked();
+    }
+    // Probe callbacks are long done; release any UnregisterProbe waiting
+    // to destroy its ctx.
+    --polls_in_flight_;
+  }
+  poll_cv_.notify_all();
 }
 
 void Watchdog::RefreshSlowDeadlines() {
@@ -189,7 +206,6 @@ void Watchdog::RefreshSlowDeadlines() {
 
 void Watchdog::Report(AnomalyKind kind, const char* name, uint32_t shard,
                       uint64_t value) {
-  bool latch_burst = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counts_[{static_cast<uint8_t>(kind), shard}];
@@ -199,14 +215,19 @@ void Watchdog::Report(AnomalyKind kind, const char* name, uint32_t shard,
       burst_active_ = true;
       burst_polls_left_ = config_.burst_periods == 0 ? 1
                                                      : config_.burst_periods;
+      // Latched mid-poll: the current pass doesn't count toward the
+      // countdown. Latched between polls (inline CheckDispatch): neither
+      // does the next pass to start, so the burst spans at least
+      // burst_periods full monitor periods.
+      burst_latch_seq_ = polls_in_flight_ > 0 ? poll_seq_ : poll_seq_ + 1;
+      // Save and switch the trace config under mu_ so a concurrent
+      // Disarm() (which restores burst_saved_ under the same lock) cannot
+      // interleave and leave the process stuck in kFull.
       burst_saved_ = GetTraceConfig();
-      latch_burst = true;
+      TraceConfig full = burst_saved_;
+      full.mode = TraceMode::kFull;
+      SetTraceConfig(full);
     }
-  }
-  if (latch_burst) {
-    TraceConfig full = burst_saved_;
-    full.mode = TraceMode::kFull;
-    SetTraceConfig(full);
   }
   // The anomaly record overrides the sampling decision: an incident inside
   // an unsampled raise must still land in the flight recorder.
@@ -264,10 +285,14 @@ void Watchdog::RegisterProbe(void* ctx, WatchProbeFn fn) {
 }
 
 void Watchdog::UnregisterProbe(void* ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   probes_.erase(std::remove_if(probes_.begin(), probes_.end(),
                                [ctx](const Probe& p) { return p.ctx == ctx; }),
                 probes_.end());
+  // An in-flight Poll() copied probes_ before this erase and may still be
+  // about to invoke this probe; wait it out so the caller (typically a
+  // destructor) can safely free ctx the moment we return.
+  poll_cv_.wait(lock, [this] { return polls_in_flight_ == 0; });
 }
 
 void Watchdog::ExportMetricsSource(void* ctx, std::ostream& os) {

@@ -129,7 +129,9 @@ class Watchdog {
   void Poll();
 
   // Registers/unregisters a probe keyed by `ctx`. Thread-safe; polled
-  // only while armed.
+  // only while armed. UnregisterProbe blocks until any in-flight Poll()
+  // has finished invoking probes, so on return the caller may destroy
+  // `ctx`. Must not be called from inside a probe callback.
   void RegisterProbe(void* ctx, WatchProbeFn fn);
   void UnregisterProbe(void* ctx);
 
@@ -184,7 +186,18 @@ class Watchdog {
   bool burst_used_ = false;
   bool burst_active_ = false;
   uint64_t burst_polls_left_ = 0;
+  // Sequence number of the Poll() pass a burst was latched under (or the
+  // upcoming pass, for inline latches between polls). Only passes that
+  // started after the latch count toward burst_polls_left_, so a burst
+  // never retires in the same pass — or instant — that latched it.
+  uint64_t poll_seq_ = 0;        // guarded by mu_
+  uint64_t burst_latch_seq_ = 0;  // guarded by mu_
   TraceConfig burst_saved_;
+
+  // Number of Poll() passes currently invoking probe callbacks (outside
+  // mu_). UnregisterProbe waits on poll_cv_ for this to reach zero.
+  int polls_in_flight_ = 0;  // guarded by mu_
+  std::condition_variable poll_cv_;
 
   std::thread monitor_;
   std::condition_variable stop_cv_;

@@ -314,6 +314,10 @@ size_t EventProxy::Flush() {
   {
     std::lock_guard<std::mutex> lock(outbox_mu_);
     drained.swap(outbox_);
+    // Drain progress for the watchdog's stall rule: entries leaving the
+    // outbox count whether they are transmitted below or dropped because
+    // the proxy is dead — either way the queue is moving, not stalled.
+    flushed_ += drained.size();
   }
   if (dead_) {
     // Fail fast like the sync path: a revoked/dead proxy generates no
@@ -394,8 +398,11 @@ void EventProxy::WatchdogProbeSource(void* ctx,
   {
     std::lock_guard<std::mutex> lock(self->outbox_mu_);
     backlog.depth = self->outbox_.size();
+    // Progress is what Flush() has drained, not what raisers enqueued: a
+    // wedged Flush under a steady raise stream must still read as a
+    // stall, and a draining outbox under an idle raiser must not.
+    backlog.progress = self->flushed_;
   }
-  backlog.progress = self->raises_;
   out.push_back(backlog);
 }
 

@@ -48,6 +48,7 @@
 #ifndef SRC_REMOTE_PROXY_H_
 #define SRC_REMOTE_PROXY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -173,12 +174,19 @@ class EventProxy {
   };
   std::mutex outbox_mu_;
   std::deque<OutboxEntry> outbox_;
+  // Entries Flush() has drained from the outbox (sent, or dropped on a
+  // dead proxy) — the drain-progress counter for the watchdog's queue
+  // stall rule. Guarded by outbox_mu_.
+  uint64_t flushed_ = 0;
 
-  uint64_t raises_ = 0;
-  uint64_t retries_ = 0;
-  uint64_t timeouts_ = 0;
-  uint64_t dead_raises_ = 0;
-  uint64_t revoke_notices_ = 0;
+  // Counters are mutated on raiser/pool threads and read by the watchdog
+  // monitor thread and metrics export; atomic so those reads are not a
+  // data race. They are independent statistics — ordering is irrelevant.
+  std::atomic<uint64_t> raises_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> dead_raises_{0};
+  std::atomic<uint64_t> revoke_notices_{0};
   obs::Histogram roundtrip_;
 };
 

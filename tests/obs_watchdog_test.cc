@@ -5,6 +5,7 @@
 // drive detection with Poll().
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <sstream>
 #include <string>
@@ -297,6 +298,60 @@ TEST(WatchdogTest, RetryStormDetectedUnderPartition) {
                           "shard=\"0\"}"),
             std::string::npos)
       << os.str();
+}
+
+// A probe whose callback parks until the test releases it, so the test
+// can hold a Poll() pass in flight at a known point.
+struct ParkedProbe {
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> finished{false};
+  static void Fn(void* ctx, std::vector<obs::WatchSample>&) {
+    auto* self = static_cast<ParkedProbe*>(ctx);
+    self->entered.store(true);
+    while (!self->release.load()) {
+      std::this_thread::yield();
+    }
+    self->finished.store(true);
+  }
+};
+
+TEST(WatchdogTest, UnregisterProbeWaitsOutAnInFlightPoll) {
+  obs::Watchdog& dog = obs::Watchdog::Global();
+
+  obs::WatchdogConfig config;
+  config.period_ms = 0;  // the test drives Poll() on its own thread
+  dog.Arm(config);
+
+  auto* probe = new ParkedProbe();
+  dog.RegisterProbe(probe, &ParkedProbe::Fn);
+
+  std::thread poller([&dog] { dog.Poll(); });
+  while (!probe->entered.load()) {
+    std::this_thread::yield();
+  }
+
+  // The probe callback is in flight; unregistering from another thread
+  // (the destructor path) must block until the poll pass is over, so
+  // freeing the probe afterwards is safe. TSan guards the
+  // use-after-free half of this claim.
+  std::atomic<bool> unregistered{false};
+  std::thread destroyer([&] {
+    dog.UnregisterProbe(probe);
+    EXPECT_TRUE(probe->finished.load())
+        << "UnregisterProbe returned while the probe callback was running";
+    unregistered.store(true);
+    delete probe;
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(unregistered.load())
+      << "UnregisterProbe returned with a Poll() still in flight";
+
+  probe->release.store(true);
+  poller.join();
+  destroyer.join();
+  dog.Disarm();
 }
 
 TEST(WatchdogTest, TraceBurstLatchesOnceAndRetires) {
