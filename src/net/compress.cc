@@ -68,26 +68,45 @@ CompressionExtension::~CompressionExtension() {
   }
 }
 
+namespace {
+
+// L4 payload offset for the protocols the codec understands; 0 for
+// anything else (left untouched).
+size_t PayloadOffset(const Packet& packet) {
+  switch (packet.ip_proto()) {
+    case kIpProtoUdp:
+      return kUdpPayloadOff;
+    case kIpProtoTcp:
+      return kTcpPayloadOff;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
 bool CompressionExtension::Compress(CompressionExtension* ext,
                                     Packet* packet) {
-  if (packet->ip_proto() != kIpProtoUdp ||
-      packet->len <= kUdpPayloadOff + 16) {
+  size_t payload_off = PayloadOffset(*packet);
+  if (payload_off == 0 || packet->len <= payload_off + 16) {
     return true;  // not worth it; pass through untouched
   }
   uint8_t scratch[kMaxFrame];
-  size_t payload_len = packet->len - kUdpPayloadOff;
-  size_t compressed_len = RleCompress(packet->data + kUdpPayloadOff,
+  size_t payload_len = packet->len - payload_off;
+  size_t compressed_len = RleCompress(packet->data + payload_off,
                                       payload_len, scratch,
                                       sizeof(scratch));
   if (compressed_len == 0) {
     return true;  // incompressible
   }
-  std::memcpy(packet->data + kUdpPayloadOff, scratch, compressed_len);
-  packet->len = static_cast<uint32_t>(kUdpPayloadOff + compressed_len);
-  packet->Put16(kUdpLenOff, static_cast<uint16_t>(8 + compressed_len));
+  std::memcpy(packet->data + payload_off, scratch, compressed_len);
+  packet->len = static_cast<uint32_t>(payload_off + compressed_len);
   packet->data[kIpTosOff] = kCompressedTos;
   StampIpChecksum(*packet);  // the TOS marker changed the header
-  StampUdpChecksum(*packet);  // the payload bytes changed too
+  if (packet->ip_proto() == kIpProtoUdp) {
+    packet->Put16(kUdpLenOff, static_cast<uint16_t>(8 + compressed_len));
+    StampUdpChecksum(*packet);  // the payload bytes changed too
+  }
   ++ext->compressed_;
   ext->bytes_saved_ += payload_len - compressed_len;
   return true;
@@ -95,20 +114,26 @@ bool CompressionExtension::Compress(CompressionExtension* ext,
 
 bool CompressionExtension::Decompress(CompressionExtension* ext,
                                       Packet* packet) {
+  size_t payload_off = PayloadOffset(*packet);
+  if (payload_off == 0 || packet->len < payload_off) {
+    return false;  // marked frame with no decodable payload: drop
+  }
   uint8_t scratch[kMaxFrame];
-  size_t compressed_len = packet->len - kUdpPayloadOff;
-  size_t payload_len = RleDecompress(packet->data + kUdpPayloadOff,
+  size_t compressed_len = packet->len - payload_off;
+  size_t payload_len = RleDecompress(packet->data + payload_off,
                                      compressed_len, scratch,
-                                     kMaxFrame - kUdpPayloadOff);
+                                     kMaxFrame - payload_off);
   if (payload_len == 0) {
     return false;  // malformed; let the stack drop it
   }
-  std::memcpy(packet->data + kUdpPayloadOff, scratch, payload_len);
-  packet->len = static_cast<uint32_t>(kUdpPayloadOff + payload_len);
+  std::memcpy(packet->data + payload_off, scratch, payload_len);
+  packet->len = static_cast<uint32_t>(payload_off + payload_len);
   packet->data[kIpTosOff] = 0;  // restore the original header
-  packet->Put16(kUdpLenOff, static_cast<uint16_t>(8 + payload_len));
   StampIpChecksum(*packet);
-  StampUdpChecksum(*packet);
+  if (packet->ip_proto() == kIpProtoUdp) {
+    packet->Put16(kUdpLenOff, static_cast<uint16_t>(8 + payload_len));
+    StampUdpChecksum(*packet);
+  }
   ++ext->decompressed_;
   return false;  // transformed, not consumed: the IP layer still runs
 }

@@ -31,8 +31,11 @@ size_t RleDecompress(const uint8_t* in, size_t n, uint8_t* out, size_t cap);
 
 class CompressionExtension {
  public:
-  // Compresses UDP payloads sent by `sender` and decompresses them on
-  // `receiver`.
+  // Compresses UDP and TCP payloads sent by `sender` and decompresses
+  // them on `receiver`. TCP segments are transformed below the endpoint
+  // and its bound stack: sequence numbers, ACKs, and retransmissions all
+  // operate on the uncompressed byte stream, so the extension composes
+  // in-path with any pluggable stack (src/net/stacks/).
   CompressionExtension(Host& sender, Host& receiver);
   ~CompressionExtension();
   CompressionExtension(const CompressionExtension&) = delete;

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "src/core/shard.h"
+#include "src/net/stacks/tcp_stack.h"
 #include "src/obs/context.h"
 #include "src/obs/export.h"
 #include "src/obs/obs.h"
@@ -102,6 +103,9 @@ Host::Host(std::string name, uint32_t ip, Dispatcher* dispatcher)
       UdpPacketArrived("Udp.PacketArrived", &module_, nullptr, dispatcher),
       TcpPacketArrived("Tcp.PacketArrived", &module_, nullptr, dispatcher),
       EtherPacketSend("Ether.PacketSend", &module_, nullptr, dispatcher),
+      TcpSegmentOut("Tcp.SegmentOut", &module_, nullptr, dispatcher),
+      TcpAckIn("Tcp.AckIn", &module_, nullptr, dispatcher),
+      TcpTimer("Tcp.Timer", &module_, nullptr, dispatcher),
       name_(std::move(name)),
       ip_(ip),
       dispatcher_(dispatcher),
@@ -121,6 +125,16 @@ Host::Host(std::string name, uint32_t ip, Dispatcher* dispatcher)
   dispatcher_->InstallDefaultHandler(UdpPacketArrived, &Host::Drop, this,
                                      {.module = &module_});
   dispatcher_->InstallDefaultHandler(TcpPacketArrived, &Host::Drop, this,
+                                     {.module = &module_});
+
+  // The stack events fire into whatever stack bindings connections have
+  // installed; with none bound (or a guard mismatch) the raise must still
+  // be legal, hence no-op defaults.
+  dispatcher_->InstallDefaultHandler(TcpSegmentOut, &Host::TcpStackIdle,
+                                     this, {.module = &module_});
+  dispatcher_->InstallDefaultHandler(TcpAckIn, &Host::TcpStackIdleAck, this,
+                                     {.module = &module_});
+  dispatcher_->InstallDefaultHandler(TcpTimer, &Host::TcpStackIdle, this,
                                      {.module = &module_});
 
   // The outbound path: the wire-transmit handler plays the intrinsic role
@@ -198,6 +212,17 @@ bool Host::DropOutbound(Host* host, Packet* packet) {
   (void)packet;
   ++host->tx_dropped_;
   return false;
+}
+
+void Host::TcpStackIdle(Host* host, TcpConn* conn) {
+  (void)host;
+  (void)conn;
+}
+
+void Host::TcpStackIdleAck(Host* host, TcpConn* conn, uint64_t ack) {
+  (void)host;
+  (void)conn;
+  (void)ack;
 }
 
 bool Host::WireTransmit(Host* host, Packet* packet) {

@@ -25,6 +25,7 @@ namespace spin {
 namespace net {
 
 class Host;
+struct TcpConn;  // src/net/stacks/tcp_stack.h
 
 // A point-to-point link between two hosts, timed by the simulator.
 //
@@ -134,6 +135,16 @@ class Host {
   // Handlers may rewrite the packet in place; returning false drops it.
   Event<bool(Packet*)> EtherPacketSend;
 
+  // Per-connection TCP stack events (src/net/stacks/): a bound stack is a
+  // set of guarded handlers on these three, keyed on the TcpConn pointer,
+  // so stack selection is a guarded install and hot-swap is an
+  // uninstall/install pair gated by this host's §2.5 authorizer. The
+  // no-op defaults keep an unbound raise legal. AckIn's second argument
+  // is the cumulative acknowledgment number.
+  Event<void(TcpConn*)> TcpSegmentOut;
+  Event<void(TcpConn*, uint64_t)> TcpAckIn;
+  Event<void(TcpConn*)> TcpTimer;
+
   void AttachWire(Wire* wire) { wire_ = wire; }
   Wire* wire() const { return wire_; }
 
@@ -160,6 +171,8 @@ class Host {
   static bool TcpInput(Host* host, Packet* packet);
   static bool Drop(Host* host, Packet* packet);
   static bool DropOutbound(Host* host, Packet* packet);
+  static void TcpStackIdle(Host* host, TcpConn* conn);
+  static void TcpStackIdleAck(Host* host, TcpConn* conn, uint64_t ack);
   static bool WireTransmit(Host* host, Packet* packet);
   static void ExportMetricsSource(void* ctx, std::ostream& os);
 

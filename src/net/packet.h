@@ -44,6 +44,9 @@ inline constexpr uint8_t kTcpFin = 0x01;
 inline constexpr uint8_t kTcpSyn = 0x02;
 inline constexpr uint8_t kTcpAckFlag = 0x10;
 
+// Maximum TCP segment payload per frame.
+inline constexpr size_t kTcpMss = 1460;
+
 struct Packet {
   uint8_t data[kMaxFrame] = {};
   uint32_t len = 0;

@@ -1,0 +1,169 @@
+// rack_lite: time-ordered loss detection with reordering tolerance.
+//
+// The trimmed-down shape of FreeBSD/Linux RACK: instead of counting
+// duplicate ACKs, a segment is deemed lost when a segment sent *after* it
+// has already been cumulatively acknowledged and more than a reordering
+// window (reo_wnd = RTO/8) has elapsed beyond its own send time. That
+// makes detection a property of delivery *time order*, so a transient
+// reordering shorter than reo_wnd never triggers a spurious
+// retransmission, while a real hole is repaired after ~reo_wnd instead
+// of a full RTO. Duplicate ACKs still feed an early-retransmit path
+// (two dup-ACKs + the front segment older than reo_wnd), which covers
+// holes that keep drawing dup-ACKs before any newer delivery lands.
+// Window management mirrors reno (slow start / congestion avoidance /
+// halve once per recovery episode); the RTO path resends the flight
+// go-back-N with exponential backoff and the shared retry budget.
+#include "src/net/stacks/tcp_stack.h"
+
+#include <algorithm>
+
+namespace spin {
+namespace net {
+namespace {
+
+constexpr size_t kInitialWindow = 10 * kTcpMss;
+constexpr uint32_t kEarlyRetransmitDupAcks = 2;
+
+size_t HalvedWindow(const TcpConn& conn) {
+  return std::max(conn.flight_bytes / 2, 2 * kTcpMss);
+}
+
+uint32_t FlightEnd(const TcpConn& conn) {
+  if (conn.flight.empty()) {
+    return conn.snd_una;
+  }
+  const TcpSegment& back = conn.flight.back();
+  return back.seq + static_cast<uint32_t>(back.payload.size());
+}
+
+uint64_t ReorderWindow(const TcpConn& conn) {
+  return std::max<uint64_t>(conn.rto_ns / 8, 1);
+}
+
+class RackLiteStack : public TcpStack {
+ public:
+  const char* name() const override { return "rack_lite"; }
+
+  void OnBind(TcpConn& conn) override {
+    if (conn.cwnd_bytes == 0) {
+      conn.cwnd_bytes = kInitialWindow;
+      conn.ssthresh_bytes = ~size_t{0};
+    }
+  }
+
+  void OnSendReady(TcpConn& conn) override { PumpPending(conn); }
+
+  void OnAck(TcpConn& conn, uint32_t ack) override {
+    const uint64_t reo_wnd = ReorderWindow(conn);
+    if (ack > conn.snd_una) {
+      AckResult result = AckAdvance(conn, ack);
+      conn.rack_newest_ns =
+          std::max(conn.rack_newest_ns, result.newest_sent_at_ns);
+      if (conn.in_recovery && ack >= conn.recover_seq) {
+        conn.in_recovery = false;
+      }
+      Grow(conn, result.acked_bytes);
+      DetectByTime(conn, reo_wnd);
+      PumpPending(conn);
+      return;
+    }
+    if (conn.flight.empty()) {
+      return;
+    }
+    ++conn.dup_acks;
+    // Early retransmit: repeated dup-ACKs against a front segment that has
+    // outlived the reordering window. Fewer dup-ACKs than reno needs, but
+    // never before reo_wnd — that is the reordering tolerance.
+    if (conn.dup_acks >= kEarlyRetransmitDupAcks && conn.sim != nullptr &&
+        conn.sim->now_ns() >=
+            conn.flight.front().sent_at_ns + reo_wnd) {
+      EnterRecovery(conn);
+      for (TcpSegment& segment : conn.flight) {
+        conn.driver->Retransmit(conn, segment);
+      }
+      conn.dup_acks = 0;
+      RestartTimer(conn, conn.sim->now_ns());
+    }
+  }
+
+  void OnTimer(TcpConn& conn, uint64_t now_ns) override {
+    if (conn.flight.empty()) {
+      return;
+    }
+    if (++conn.backoff > conn.max_retries) {
+      conn.driver->Abort(conn);
+      return;
+    }
+    // Go-back-N on RTO, same as reno: the receiver kept nothing behind
+    // the hole, so the whole flight must go again; the window collapse
+    // only throttles *new* data.
+    conn.ssthresh_bytes = HalvedWindow(conn);
+    conn.cwnd_bytes = kTcpMss;
+    conn.in_recovery = false;
+    conn.dup_acks = 0;
+    for (TcpSegment& segment : conn.flight) {
+      conn.driver->Retransmit(conn, segment);
+    }
+    RestartTimer(conn, now_ns);
+  }
+
+ private:
+  // Time-ordered detection: anything still in flight that was sent more
+  // than reo_wnd before the newest delivered segment cannot merely be
+  // reordered — it is lost. And because the receiver holds no
+  // out-of-order data, a detected hole invalidates the whole flight
+  // behind it: repair is go-back-N from the front.
+  void DetectByTime(TcpConn& conn, uint64_t reo_wnd) {
+    if (conn.rack_newest_ns == 0) {
+      return;
+    }
+    bool lost = false;
+    for (const TcpSegment& segment : conn.flight) {
+      if (segment.sent_at_ns + reo_wnd <= conn.rack_newest_ns) {
+        lost = true;
+        break;
+      }
+    }
+    if (!lost) {
+      return;
+    }
+    EnterRecovery(conn);
+    for (TcpSegment& segment : conn.flight) {
+      conn.driver->Retransmit(conn, segment);
+    }
+    if (conn.sim != nullptr) {
+      RestartTimer(conn, conn.sim->now_ns());
+    }
+  }
+
+  void EnterRecovery(TcpConn& conn) {
+    if (conn.in_recovery) {
+      return;
+    }
+    conn.in_recovery = true;
+    conn.recover_seq = FlightEnd(conn);
+    conn.ssthresh_bytes = HalvedWindow(conn);
+    conn.cwnd_bytes = conn.ssthresh_bytes;
+  }
+
+  static void Grow(TcpConn& conn, size_t acked_bytes) {
+    if (conn.in_recovery || acked_bytes == 0) {
+      return;
+    }
+    if (conn.cwnd_bytes < conn.ssthresh_bytes) {
+      conn.cwnd_bytes += acked_bytes;
+    } else {
+      conn.cwnd_bytes +=
+          std::max<size_t>(kTcpMss * kTcpMss / conn.cwnd_bytes, 1);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TcpStack> MakeRackLiteStack() {
+  return std::make_unique<RackLiteStack>();
+}
+
+}  // namespace net
+}  // namespace spin

@@ -1,0 +1,121 @@
+// reno: slow start, congestion avoidance, fast retransmit on 3 dup-ACKs.
+//
+// The receiver in this codebase delivers strictly in order and discards
+// out-of-order segments (no reassembly queue), so recovery is go-back-N:
+// on the third duplicate ACK the whole flight is resent — the hole plus
+// everything the receiver threw away behind it — and the window halves.
+// That makes this Reno-without-SACK: the fast-retransmit *trigger*
+// (three dup-ACKs, ~1 RTT) is what distinguishes it from stop_and_wait's
+// RTO-only recovery, which is the entire point at 5% loss.
+#include "src/net/stacks/tcp_stack.h"
+
+#include <algorithm>
+
+namespace spin {
+namespace net {
+namespace {
+
+constexpr size_t kInitialWindow = 10 * kTcpMss;
+constexpr uint32_t kDupAckThreshold = 3;
+
+size_t HalvedWindow(const TcpConn& conn) {
+  return std::max(conn.flight_bytes / 2, 2 * kTcpMss);
+}
+
+uint32_t FlightEnd(const TcpConn& conn) {
+  if (conn.flight.empty()) {
+    return conn.snd_una;
+  }
+  const TcpSegment& back = conn.flight.back();
+  return back.seq + static_cast<uint32_t>(back.payload.size());
+}
+
+class RenoStack : public TcpStack {
+ public:
+  const char* name() const override { return "reno"; }
+
+  void OnBind(TcpConn& conn) override {
+    // A fresh connection starts in slow start at the initial window. On a
+    // hot-swap mid-flight the predecessor's window carries over untouched.
+    if (conn.cwnd_bytes == 0) {
+      conn.cwnd_bytes = kInitialWindow;
+      conn.ssthresh_bytes = ~size_t{0};
+    }
+  }
+
+  void OnSendReady(TcpConn& conn) override { PumpPending(conn); }
+
+  void OnAck(TcpConn& conn, uint32_t ack) override {
+    if (ack > conn.snd_una) {
+      AckResult result = AckAdvance(conn, ack);
+      if (conn.in_recovery && ack >= conn.recover_seq) {
+        conn.in_recovery = false;
+      }
+      Grow(conn, result.acked_bytes);
+      PumpPending(conn);
+      return;
+    }
+    if (conn.flight.empty()) {
+      return;
+    }
+    if (++conn.dup_acks >= kDupAckThreshold && !conn.in_recovery) {
+      // Fast retransmit: one recovery episode per window of loss.
+      conn.in_recovery = true;
+      conn.recover_seq = FlightEnd(conn);
+      conn.ssthresh_bytes = HalvedWindow(conn);
+      conn.cwnd_bytes = conn.ssthresh_bytes;
+      for (TcpSegment& segment : conn.flight) {
+        conn.driver->Retransmit(conn, segment);
+      }
+      if (conn.sim != nullptr) {
+        RestartTimer(conn, conn.sim->now_ns());
+      }
+    }
+  }
+
+  void OnTimer(TcpConn& conn, uint64_t now_ns) override {
+    if (conn.flight.empty()) {
+      return;
+    }
+    if (++conn.backoff > conn.max_retries) {
+      conn.driver->Abort(conn);
+      return;
+    }
+    // RTO: collapse the window for *new* data and slow-start back up. The
+    // retransmission itself is still go-back-N — the receiver discarded
+    // everything behind the hole, so resending only the front would hand
+    // it one segment per RTO and serialize the rest of the flight on the
+    // retransmit timer.
+    conn.ssthresh_bytes = HalvedWindow(conn);
+    conn.cwnd_bytes = kTcpMss;
+    conn.in_recovery = false;
+    conn.dup_acks = 0;
+    for (TcpSegment& segment : conn.flight) {
+      conn.driver->Retransmit(conn, segment);
+    }
+    RestartTimer(conn, now_ns);
+  }
+
+ private:
+  static void Grow(TcpConn& conn, size_t acked_bytes) {
+    if (conn.in_recovery || acked_bytes == 0) {
+      return;
+    }
+    if (conn.cwnd_bytes < conn.ssthresh_bytes) {
+      conn.cwnd_bytes += acked_bytes;  // slow start: one MSS per MSS acked
+    } else {
+      // Congestion avoidance: ~one MSS per RTT.
+      conn.cwnd_bytes +=
+          std::max<size_t>(kTcpMss * kTcpMss / conn.cwnd_bytes, 1);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TcpStack> MakeRenoStack() {
+  return std::make_unique<RenoStack>();
+}
+
+}  // namespace net
+}  // namespace spin

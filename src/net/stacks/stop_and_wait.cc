@@ -1,0 +1,57 @@
+// stop_and_wait: the endpoint's original hardwired behavior, extracted.
+//
+// No congestion window — every pending byte is blasted as soon as the
+// application hands it over — and the only loss signal is the
+// retransmission timeout, answered with go-back-N (resend the entire
+// flight; the receiver's cumulative ACK discards what it already holds).
+// Duplicate ACKs are ignored, so every loss costs a full RTO. What this
+// stack adds over the legacy path is the retry budget: each unanswered
+// RTO round doubles the deadline, and after max_retries rounds the
+// connection aborts instead of spinning forever (the fleet workload
+// needs partitioned connections to *fail*).
+#include "src/net/stacks/tcp_stack.h"
+
+namespace spin {
+namespace net {
+namespace {
+
+class StopAndWaitStack : public TcpStack {
+ public:
+  const char* name() const override { return "stop_and_wait"; }
+
+  void OnBind(TcpConn& conn) override {
+    conn.cwnd_bytes = 0;  // unlimited
+    conn.in_recovery = false;
+    conn.dup_acks = 0;
+  }
+
+  void OnSendReady(TcpConn& conn) override { PumpPending(conn); }
+
+  void OnAck(TcpConn& conn, uint32_t ack) override {
+    AckAdvance(conn, ack);
+    PumpPending(conn);
+  }
+
+  void OnTimer(TcpConn& conn, uint64_t now_ns) override {
+    if (conn.flight.empty()) {
+      return;
+    }
+    if (++conn.backoff > conn.max_retries) {
+      conn.driver->Abort(conn);
+      return;
+    }
+    for (TcpSegment& segment : conn.flight) {
+      conn.driver->Retransmit(conn, segment);
+    }
+    RestartTimer(conn, now_ns);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TcpStack> MakeStopAndWaitStack() {
+  return std::make_unique<StopAndWaitStack>();
+}
+
+}  // namespace net
+}  // namespace spin

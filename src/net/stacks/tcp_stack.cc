@@ -1,0 +1,159 @@
+#include "src/net/stacks/tcp_stack.h"
+
+#include <algorithm>
+
+#include "src/rt/panic.h"
+
+namespace spin {
+namespace net {
+
+size_t StackWindowAvail(const TcpConn& conn) {
+  if (conn.cwnd_bytes == 0) {
+    return ~size_t{0};
+  }
+  return conn.cwnd_bytes > conn.flight_bytes
+             ? conn.cwnd_bytes - conn.flight_bytes
+             : 0;
+}
+
+void PumpPending(TcpConn& conn) {
+  SPIN_ASSERT(conn.driver != nullptr);
+  while (conn.pending_off < conn.pending.size()) {
+    size_t remaining = conn.pending.size() - conn.pending_off;
+    size_t chunk = std::min(kTcpMss, remaining);
+    // A closed window with an empty flight would never reopen (ACKs are
+    // what grow it), so an empty flight always admits one segment.
+    if (!conn.flight.empty() && chunk > StackWindowAvail(conn)) {
+      break;
+    }
+    conn.driver->SendNewSegment(conn,
+                                conn.pending.substr(conn.pending_off, chunk));
+    conn.pending_off += chunk;
+  }
+  if (conn.pending_off >= conn.pending.size()) {
+    conn.pending.clear();
+    conn.pending_off = 0;
+  }
+}
+
+AckResult AckAdvance(TcpConn& conn, uint32_t ack) {
+  AckResult result;
+  while (!conn.flight.empty()) {
+    const TcpSegment& front = conn.flight.front();
+    uint32_t end = front.seq + static_cast<uint32_t>(front.payload.size());
+    if (end > ack) {
+      break;
+    }
+    result.acked_bytes += front.payload.size();
+    result.newest_sent_at_ns =
+        std::max(result.newest_sent_at_ns, front.sent_at_ns);
+    conn.flight_bytes -= front.payload.size();
+    conn.flight.pop_front();
+  }
+  if (ack > conn.snd_una) {
+    conn.snd_una = ack;
+    result.progress = true;
+    conn.dup_acks = 0;
+    conn.backoff = 0;
+    if (conn.sim != nullptr) {
+      RestartTimer(conn, conn.sim->now_ns());
+    }
+  }
+  return result;
+}
+
+void RestartTimer(TcpConn& conn, uint64_t now_ns) {
+  if (conn.flight.empty()) {
+    conn.timer_deadline_ns = 0;
+    return;
+  }
+  uint32_t shift = std::min(conn.backoff, 16u);
+  conn.timer_deadline_ns = now_ns + (conn.rto_ns << shift);
+}
+
+TcpStackRegistry& TcpStackRegistry::Global() {
+  static TcpStackRegistry registry;
+  return registry;
+}
+
+void TcpStackRegistry::Register(const std::string& name, Factory factory) {
+  for (auto& entry : factories_) {
+    if (entry.first == name) {
+      entry.second = factory;
+      return;
+    }
+  }
+  factories_.emplace_back(name, factory);
+}
+
+std::unique_ptr<TcpStack> TcpStackRegistry::Create(
+    const std::string& name) const {
+  for (const auto& entry : factories_) {
+    if (entry.first == name) {
+      return entry.second();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TcpStackRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& entry : factories_) {
+    names.push_back(entry.first);
+  }
+  return names;
+}
+
+void RegisterBuiltinTcpStacks() {
+  static const bool registered = [] {
+    TcpStackRegistry& registry = TcpStackRegistry::Global();
+    registry.Register("stop_and_wait", &MakeStopAndWaitStack);
+    registry.Register("reno", &MakeRenoStack);
+    registry.Register("rack_lite", &MakeRackLiteStack);
+    return true;
+  }();
+  (void)registered;
+}
+
+StackAuthorizer::StackAuthorizer(std::vector<std::string> allowed)
+    : allowed_(std::move(allowed)) {}
+
+void StackAuthorizer::Attach(Host& host) {
+  Dispatcher& dispatcher = host.dispatcher();
+  for (EventBase* event : {static_cast<EventBase*>(&host.TcpSegmentOut),
+                           static_cast<EventBase*>(&host.TcpAckIn),
+                           static_cast<EventBase*>(&host.TcpTimer)}) {
+    dispatcher.InstallAuthorizer(*event, &StackAuthorizer::Authorize, this,
+                                 host.module());
+  }
+}
+
+bool StackAuthorizer::Authorize(AuthRequest& request, void* ctx) {
+  auto* self = static_cast<StackAuthorizer*>(ctx);
+  if (request.op != AuthOp::kInstall || request.requestor == nullptr) {
+    return true;  // uninstalls, defaults, guards: always permitted
+  }
+  const std::string& module_name = request.requestor->name();
+  constexpr char kPrefix[] = "TcpStack.";
+  if (module_name.rfind(kPrefix, 0) != 0) {
+    return true;  // not a stack binding; out of this authorizer's scope
+  }
+  // Module names are "TcpStack.<stack>#<conn id>"; policy is per stack.
+  std::string stack = module_name.substr(sizeof(kPrefix) - 1);
+  size_t hash = stack.find('#');
+  if (hash != std::string::npos) {
+    stack.resize(hash);
+  }
+  for (const std::string& name : self->allowed_) {
+    if (name == stack) {
+      ++self->granted_;
+      return true;
+    }
+  }
+  ++self->denied_;
+  return false;
+}
+
+}  // namespace net
+}  // namespace spin

@@ -111,6 +111,25 @@ constexpr Family kFamilies[] = {
      "Packets dropped for a bad IP checksum."},
     {"spin_net_udp_checksum_drops_total", "counter",
      "Packets dropped for a bad UDP checksum."},
+    {"spin_fleet_hosts", "gauge", "Simulated hosts in the fleet."},
+    {"spin_fleet_connections", "gauge", "Fleet TCP connections."},
+    {"spin_fleet_established", "gauge",
+     "Fleet connections fully established."},
+    {"spin_fleet_dead_connections", "gauge",
+     "Fleet connections aborted after retry exhaustion."},
+    {"spin_fleet_requests_total", "counter", "Fleet requests issued."},
+    {"spin_fleet_responses_total", "counter",
+     "Fleet responses fully delivered."},
+    {"spin_fleet_response_bytes_total", "counter",
+     "Fleet response bytes delivered."},
+    {"spin_fleet_retransmissions_total", "counter",
+     "TCP retransmissions across the fleet."},
+    {"spin_fleet_wire_frames_lost_total", "counter",
+     "Frames dropped by fleet wires."},
+    {"spin_fleet_swaps_granted_total", "counter",
+     "Stack hot-swaps admitted by the authorizer."},
+    {"spin_fleet_swaps_denied_total", "counter",
+     "Stack hot-swaps rejected by the authorizer."},
     {"spin_remote_client_raises_total", "counter",
      "Remote raises issued by a proxy."},
     {"spin_remote_client_retries_total", "counter",

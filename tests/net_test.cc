@@ -377,6 +377,162 @@ TEST_F(NetTest, NoRetransmissionsOnCleanWire) {
   EXPECT_EQ(client.retransmissions(), 0u);
 }
 
+// --- Input-path hardening (forged and mis-sequenced segments) --------------
+
+TEST_F(NetTest, StraySynAckOutsideSynSentIgnored) {
+  std::string received;
+  TcpEndpoint server(b_, 80);
+  server.Listen([&](const std::string& data) { received += data; });
+  TcpEndpoint client(a_, 5555);
+  client.Connect(b_.ip(), 80, nullptr);
+  sim_.Run();
+  ASSERT_TRUE(server.established());
+
+  // A SYN+ACK at a bogus sequence arriving on an established connection
+  // must not reset rcv_next or bounce the state machine.
+  b_.Receive(MakeTcpPacket(a_.ip(), b_.ip(), 5555, 80, /*seq=*/99999,
+                           /*ack=*/0, kTcpSyn | kTcpAckFlag, ""));
+  EXPECT_TRUE(server.established());
+
+  client.Send("still works");
+  sim_.Run();
+  EXPECT_EQ(received, "still works")
+      << "sequencing must be untouched by the stray SYN+ACK";
+}
+
+TEST_F(NetTest, StraySynOutsideListenIgnored) {
+  TcpEndpoint server(b_, 80);
+  server.Listen(nullptr);
+  TcpEndpoint client(a_, 5555);
+  client.Connect(b_.ip(), 80, nullptr);
+  sim_.Run();
+  ASSERT_TRUE(client.established());
+
+  // A forged SYN against the established *client* must not restart a
+  // passive open on it.
+  a_.Receive(MakeTcpPacket(b_.ip(), a_.ip(), 80, 5555, /*seq=*/777,
+                           /*ack=*/0, kTcpSyn, ""));
+  EXPECT_TRUE(client.established());
+
+  std::string received;
+  server.Listen([&](const std::string& data) { received += data; });
+  client.Send("after stray syn");
+  sim_.Run();
+  EXPECT_EQ(received, "after stray syn");
+}
+
+TEST_F(NetTest, ReorderedFinDoesNotSkipUndeliveredData) {
+  std::string received;
+  TcpEndpoint server(b_, 80);
+  server.Listen([&](const std::string& data) { received += data; });
+  TcpEndpoint client(a_, 5555);
+  client.Connect(b_.ip(), 80, nullptr);
+  sim_.Run();
+  ASSERT_TRUE(server.established());
+
+  // A FIN sequenced past data still outstanding (as if the data frames
+  // were lost or reordered behind it) must not advance rcv_next.
+  uint32_t premature_seq = 1001 + 500;  // client ISS+1 plus skipped bytes
+  b_.Receive(MakeTcpPacket(a_.ip(), b_.ip(), 5555, 80, premature_seq,
+                           /*ack=*/0, kTcpFin | kTcpAckFlag, ""));
+  EXPECT_TRUE(server.established())
+      << "a mis-sequenced FIN must not close the connection";
+
+  client.Send("the real bytes");
+  sim_.Run();
+  EXPECT_EQ(received, "the real bytes");
+  client.Close();
+  sim_.Run();
+  EXPECT_EQ(server.state(), TcpEndpoint::State::kCloseWait)
+      << "the in-order FIN still closes normally";
+}
+
+TEST_F(NetTest, SimultaneousClose) {
+  TcpEndpoint server(b_, 80);
+  server.Listen(nullptr);
+  TcpEndpoint client(a_, 5555);
+  client.Connect(b_.ip(), 80, nullptr);
+  sim_.Run();
+  ASSERT_TRUE(client.established());
+  ASSERT_TRUE(server.established());
+
+  // Both sides close before either FIN has crossed the wire: the FINs
+  // pass each other, each lands in kFinWait, and both sides finish.
+  client.Close();
+  server.Close();
+  sim_.Run();
+  EXPECT_EQ(client.state(), TcpEndpoint::State::kClosed);
+  EXPECT_EQ(server.state(), TcpEndpoint::State::kClosed);
+}
+
+TEST_F(NetTest, DataArrivingInSynReceivedCompletesHandshake) {
+  std::string received;
+  TcpEndpoint server(b_, 80);
+  server.Listen([&](const std::string& data) { received += data; });
+  TcpEndpoint client(a_, 5555);
+
+  // Drop the client's bare handshake ACK (frame 3): the server stays in
+  // kSynReceived until the first data segment (which also carries ACK)
+  // arrives and completes the handshake.
+  int frames = 0;
+  wire_.SetDropHook([&frames](const Packet&, uint64_t, uint64_t) {
+    return ++frames == 3;
+  });
+  client.Connect(b_.ip(), 80, nullptr);
+  sim_.Run();
+  ASSERT_TRUE(client.established());
+  ASSERT_EQ(server.state(), TcpEndpoint::State::kSynReceived);
+
+  client.Send("data as ack");
+  sim_.Run();
+  EXPECT_TRUE(server.established());
+  EXPECT_EQ(received, "data as ack");
+}
+
+TEST_F(NetTest, DuplicateSynReanswersWithSynAck) {
+  TcpEndpoint server(b_, 80);
+  server.Listen(nullptr);
+  TcpEndpoint client(a_, 5555);
+  client.UseStack(&sim_, "stop_and_wait", /*rto_ns=*/10'000'000);
+
+  // Drop the server's first SYN+ACK (frame 2): the client's handshake
+  // timer retransmits its SYN, and the server — already in kSynReceived —
+  // must answer the duplicate with a fresh SYN+ACK, not a new ISS.
+  int frames = 0;
+  wire_.SetDropHook([&frames](const Packet&, uint64_t, uint64_t) {
+    return ++frames == 2;
+  });
+  client.Connect(b_.ip(), 80, nullptr);
+  sim_.Run();
+  EXPECT_TRUE(client.established());
+  EXPECT_TRUE(server.established());
+  EXPECT_GT(client.retransmissions() + server.retransmissions(), 0u);
+}
+
+TEST_F(NetTest, DeliveryOrderPreservedUnderSeededLoss) {
+  std::string received;
+  TcpEndpoint server(b_, 80);
+  server.Listen([&](const std::string& data) { received += data; });
+  TcpEndpoint client(a_, 5555);
+  client.UseStack(&sim_, "reno", /*rto_ns=*/50'000'000);
+  client.Connect(b_.ip(), 80, nullptr);
+  sim_.Run();
+  ASSERT_TRUE(client.established());
+
+  wire_.SetRandomLoss(0.05, /*seed=*/4242);
+  // Position-derived bytes: any drop, duplicate, or reorder in the
+  // delivered stream breaks the exact-match below.
+  std::string page(128 * 1024, '\0');
+  for (size_t i = 0; i < page.size(); ++i) {
+    page[i] = static_cast<char>('0' + i % 71);
+  }
+  client.Send(page);
+  sim_.Run();
+  ASSERT_EQ(received.size(), page.size());
+  EXPECT_EQ(received, page);
+  EXPECT_GT(wire_.frames_lost(), 0u);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace spin
