@@ -126,6 +126,7 @@ class CompiledMicro {
       : buffer_(std::move(buffer)) {}
   // Cast to uint64_t(*)(uint64_t, ...) with the program's arity.
   void* entry() const { return const_cast<void*>(buffer_->entry()); }
+  size_t code_size() const { return buffer_->code_size(); }
 
  private:
   std::unique_ptr<CodeBuffer> buffer_;

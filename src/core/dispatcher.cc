@@ -164,6 +164,13 @@ void AuthRequest::ImposeGuard(GuardClause guard) {
   SPIN_ASSERT_MSG(op == AuthOp::kInstall && binding != nullptr,
                   "ImposeGuard is only valid while authorizing an install");
   guard.imposed = true;
+  // Micro-program impositions compile here so every evaluation site — the
+  // local raise path and the exporter's per-request re-enforcement — runs
+  // native code. nullptr falls back to the interpreter.
+  if (guard.prog.has_value() && guard.compiled == nullptr &&
+      guard.prog->Validate() == micro::ValidateStatus::kOk) {
+    guard.compiled = codegen::CompileMicro(*guard.prog);
+  }
   // The candidate binding is not yet visible to raises.
   binding->AddGuardPreActive(std::move(guard), /*front=*/true);
 }
@@ -470,7 +477,7 @@ BindingHandle Dispatcher::InstallErasedHandler(EventBase& event, void* ctx,
 }
 
 void Dispatcher::AddMicroGuard(const BindingHandle& binding,
-                               micro::Program prog) {
+                               micro::Program prog, GuardCompileMode mode) {
   if (!prog.functional()) {
     throw InstallError(TypecheckStatus::kGuardNotFunctional,
                        binding->event->name());
@@ -481,13 +488,20 @@ void Dispatcher::AddMicroGuard(const BindingHandle& binding,
   }
   GuardClause clause;
   clause.prog = std::move(prog);
+  if (mode == GuardCompileMode::kJit) {
+    // Compile once at install; EvalGuards then calls native code instead
+    // of the interpreter. nullptr (codegen unavailable, >6 args) falls
+    // back to interpretation.
+    clause.compiled = codegen::CompileMicro(*clause.prog);
+  }
   std::vector<GuardClause> guards = binding->CopyGuards();
   guards.push_back(std::move(clause));
   ReplaceBindingGuardsLocked(binding, std::move(guards));
 }
 
 void Dispatcher::ImposeMicroGuard(const BindingHandle& binding,
-                                  micro::Program prog) {
+                                  micro::Program prog,
+                                  GuardCompileMode mode) {
   if (!prog.functional()) {
     throw InstallError(TypecheckStatus::kGuardNotFunctional,
                        binding->event->name());
@@ -499,6 +513,9 @@ void Dispatcher::ImposeMicroGuard(const BindingHandle& binding,
   GuardClause clause;
   clause.prog = std::move(prog);
   clause.imposed = true;
+  if (mode == GuardCompileMode::kJit) {
+    clause.compiled = codegen::CompileMicro(*clause.prog);
+  }
   std::vector<GuardClause> guards = binding->CopyGuards();
   guards.insert(guards.begin(), std::move(clause));
   ReplaceBindingGuardsLocked(binding, std::move(guards));
@@ -873,15 +890,26 @@ void Dispatcher::RebuildLocked(EventBase& event) {
         jitable = false;
         break;
       }
-      for (const GuardClause& guard : binding->guards()) {
-        if (!CallableJitable(const_cast<GuardClause&>(guard),
-                             config_.inline_micro, num_args)) {
+      // Published guard clauses are read lock-free by EvalGuards' compiled
+      // fast path, so missing JIT bodies are compiled into a copy of the
+      // list and republished through the epoch; raises in flight keep
+      // interpreting the retired list.
+      std::vector<GuardClause> guards = binding->CopyGuards();
+      bool compiled_any = false;
+      for (GuardClause& guard : guards) {
+        bool had_body = guard.compiled != nullptr;
+        if (!CallableJitable(guard, config_.inline_micro, num_args)) {
           jitable = false;
           break;
         }
+        compiled_any |= !had_body && guard.compiled != nullptr;
       }
       if (!jitable) {
         break;
+      }
+      if (compiled_any) {
+        const_cast<Binding&>(*binding).ReplaceGuards(std::move(guards),
+                                                     *epoch_);
       }
     }
   }

@@ -165,14 +165,25 @@ class Dispatcher {
   void AddGuard(Event<R(A...)>& event, const BindingHandle& binding,
                 bool (*guard)(C*, A...), C* closure);
 
-  void AddMicroGuard(const BindingHandle& binding, micro::Program prog);
+  // How a micro-program guard clause executes on the raise path. kJit
+  // compiles the program to a native procedure at install time (falling
+  // back to the interpreter when codegen is unavailable); kInterpret pins
+  // the interpreted path — the nojit oracle and the ablation baseline.
+  enum class GuardCompileMode : uint8_t { kJit, kInterpret };
+
+  void AddMicroGuard(const BindingHandle& binding, micro::Program prog,
+                     GuardCompileMode mode = GuardCompileMode::kJit);
 
   // Authority-imposed micro-program guard — the wire-transportable form of
   // ImposeGuard. Remote proxies install the guards an exporter-side
   // authorizer imposed on their bind through this entry; like every §2.5
   // imposition, the clause is marked imposed and evaluates before the
-  // installer's own guards.
-  void ImposeMicroGuard(const BindingHandle& binding, micro::Program prog);
+  // installer's own guards. Guards that arrive over the wire must pass the
+  // micro::Verify admission check before they get here; installation then
+  // compiles them (kJit) so a verified remote guard costs the same per
+  // raise as a local one.
+  void ImposeMicroGuard(const BindingHandle& binding, micro::Program prog,
+                        GuardCompileMode mode = GuardCompileMode::kJit);
 
   // Removes one guard by position (§2.5: imposed guards "can be added and
   // removed dynamically"). Removing an imposed guard consults the event's

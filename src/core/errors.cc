@@ -42,6 +42,8 @@ const char* RemoteStatusName(RemoteStatus status) {
       return "remote install denied by authorizer";
     case RemoteStatus::kRevoked:
       return "remote binding capability revoked";
+    case RemoteStatus::kBadGuard:
+      return "imposed guard failed admission verification";
   }
   return "<bad>";
 }

@@ -93,6 +93,9 @@ enum class RemoteStatus : uint8_t {
   kProtocol,          // malformed or mismatched wire traffic
   kDenied,            // the exporter's authorizer refused the remote install
   kRevoked,           // the capability token backing the binding was revoked
+  kBadGuard,          // a wire-received imposed guard failed admission
+                      // verification (the BindReply carried a program the
+                      // micro::Verify pass refused)
 };
 
 const char* RemoteStatusName(RemoteStatus status);

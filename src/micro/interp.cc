@@ -20,14 +20,20 @@ void StoreWidth(void* addr, uint64_t value, int width_exp) {
 
 }  // namespace
 
-uint64_t Run(const Program& program, const uint64_t* args, int num_args) {
+uint64_t Run(const Program& program, const uint64_t* args, int num_args,
+             uint64_t* steps) {
   uint64_t r[kNumRegs] = {};
   const std::vector<Insn>& code = program.code();
   SPIN_DCHECK(num_args >= program.num_args());
   (void)num_args;
+  uint64_t executed = 0;
   size_t pc = 0;
   while (pc < code.size()) {
     const Insn& insn = code[pc];
+    ++executed;
+    if (steps != nullptr) {
+      *steps = executed;
+    }
     switch (insn.op) {
       case Op::kLoadArg:
         r[insn.dst] = args[insn.imm];

@@ -15,8 +15,12 @@ namespace micro {
 
 // Executes a validated program against `args[0..num_args)`. The caller must
 // have run Validate(); Run assumes well-formedness (per SPIN's model where
-// installation, not dispatch, is the checked boundary).
-uint64_t Run(const Program& program, const uint64_t* args, int num_args);
+// installation, not dispatch, is the checked boundary). When `steps` is
+// non-null it receives the number of instructions executed — the
+// measurement half of the verifier's termination-budget proof
+// (tests assert steps <= VerifyResult::budget).
+uint64_t Run(const Program& program, const uint64_t* args, int num_args,
+             uint64_t* steps = nullptr);
 
 }  // namespace micro
 }  // namespace spin

@@ -63,6 +63,10 @@ const char* OpName(Op op) {
   return "<bad>";
 }
 
+static_assert(static_cast<size_t>(Op::kRetImm) + 1 == kNumOps,
+              "kNumOps must track the Op enum; a new opcode also needs an "
+              "OpName case above and an admission row in verify.cc");
+
 const char* ValidateStatusName(ValidateStatus status) {
   switch (status) {
     case ValidateStatus::kOk:
@@ -88,6 +92,11 @@ const char* ValidateStatusName(ValidateStatus status) {
   }
   return "<bad>";
 }
+
+static_assert(static_cast<size_t>(ValidateStatus::kImpureFunctional) + 1 ==
+                  kNumValidateStatuses,
+              "kNumValidateStatuses must track the ValidateStatus enum; a "
+              "new status also needs a ValidateStatusName case above");
 
 Program::Program(std::vector<Insn> code, int num_args, bool functional)
     : code_(std::move(code)), num_args_(num_args), functional_(functional) {}

@@ -16,6 +16,7 @@
 #ifndef SRC_MICRO_PROGRAM_H_
 #define SRC_MICRO_PROGRAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -54,6 +55,12 @@ enum class Op : uint8_t {
   kRetImm,      // return imm
 };
 
+// Count sentinel for exhaustiveness static_asserts (the TraceKindName
+// pattern): program.cc pins the last enumerator against this literal, and
+// the admission table in verify.cc is sized by it, so adding an opcode
+// without updating the name table and the verifier fails to compile.
+inline constexpr size_t kNumOps = 25;
+
 const char* OpName(Op op);
 
 struct Insn {
@@ -76,6 +83,10 @@ enum class ValidateStatus {
   kMissingTerminator,
   kImpureFunctional,  // store in a FUNCTIONAL program
 };
+
+// Count sentinel; program.cc pins the last enumerator against it so the
+// ValidateStatusName table cannot fall out of date silently.
+inline constexpr size_t kNumValidateStatuses = 10;
 
 const char* ValidateStatusName(ValidateStatus status);
 

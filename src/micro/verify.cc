@@ -1,0 +1,239 @@
+#include "src/micro/verify.h"
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+namespace spin {
+namespace micro {
+
+const char* VerifyStatusName(VerifyStatus status) {
+  switch (status) {
+    case VerifyStatus::kOk:
+      return "ok";
+    case VerifyStatus::kEmpty:
+      return "empty program";
+    case VerifyStatus::kTooLong:
+      return "program exceeds instruction cap";
+    case VerifyStatus::kBadOpcode:
+      return "unknown opcode";
+    case VerifyStatus::kBadRegister:
+      return "register index out of range";
+    case VerifyStatus::kBadArgIndex:
+      return "argument index out of range";
+    case VerifyStatus::kBadWidth:
+      return "bad memory width";
+    case VerifyStatus::kBadShift:
+      return "shift amount out of range";
+    case VerifyStatus::kStore:
+      return "store instruction";
+    case VerifyStatus::kAddressOp:
+      return "address-forming load";
+    case VerifyStatus::kBackwardJump:
+      return "backward jump";
+    case VerifyStatus::kJumpOutOfRange:
+      return "jump out of range";
+    case VerifyStatus::kMissingTerminator:
+      return "execution can fall off the end";
+    case VerifyStatus::kBudgetExceeded:
+      return "execution budget exceeded";
+  }
+  return "<bad>";
+}
+
+static_assert(static_cast<size_t>(VerifyStatus::kBudgetExceeded) + 1 ==
+                  kNumVerifyStatuses,
+              "kNumVerifyStatuses must track the VerifyStatus enum");
+
+VerifyLimits WireGuardLimits() {
+  VerifyLimits limits;
+  limits.max_insns = 256;   // == remote::kMaxWireGuardInsns
+  limits.max_budget = 256;
+  limits.allow_memory_reads = false;
+  limits.allow_stores = false;
+  return limits;
+}
+
+namespace {
+
+// Per-opcode admission attributes. Indexed by the opcode's numeric value;
+// the static_assert below is the compile-time tripwire: adding an Op
+// without extending this table (and the name tables in program.cc) fails
+// the build instead of silently admitting the new opcode.
+struct OpInfo {
+  Op op;                 // must equal its own index (checked at startup)
+  bool uses_dst;
+  bool uses_a;
+  bool uses_b;
+  bool is_store;
+  bool is_memory_read;   // address-forming load
+  bool is_jump;          // imm is a forward instruction index
+  bool is_terminator;    // execution cannot fall through
+  bool falls_through;    // execution may continue at pc+1
+};
+
+constexpr OpInfo kOpTable[] = {
+    //                         dst    a      b      store  mread  jump   term   falls
+    {Op::kLoadArg,             true,  false, false, false, false, false, false, true},
+    {Op::kLoadImm,             true,  false, false, false, false, false, false, true},
+    {Op::kLoadGlobal,          true,  false, false, false, true,  false, false, true},
+    {Op::kLoadField,           true,  true,  false, false, true,  false, false, true},
+    {Op::kStoreGlobal,         false, true,  false, true,  false, false, false, true},
+    {Op::kStoreField,          false, true,  true,  true,  false, false, false, true},
+    {Op::kMov,                 true,  true,  false, false, false, false, false, true},
+    {Op::kAdd,                 true,  true,  true,  false, false, false, false, true},
+    {Op::kSub,                 true,  true,  true,  false, false, false, false, true},
+    {Op::kAnd,                 true,  true,  true,  false, false, false, false, true},
+    {Op::kOr,                  true,  true,  true,  false, false, false, false, true},
+    {Op::kXor,                 true,  true,  true,  false, false, false, false, true},
+    {Op::kShlImm,              true,  true,  false, false, false, false, false, true},
+    {Op::kShrImm,              true,  true,  false, false, false, false, false, true},
+    {Op::kCmpEq,               true,  true,  true,  false, false, false, false, true},
+    {Op::kCmpNe,               true,  true,  true,  false, false, false, false, true},
+    {Op::kCmpLtU,              true,  true,  true,  false, false, false, false, true},
+    {Op::kCmpLeU,              true,  true,  true,  false, false, false, false, true},
+    {Op::kCmpLtS,              true,  true,  true,  false, false, false, false, true},
+    {Op::kCmpLeS,              true,  true,  true,  false, false, false, false, true},
+    {Op::kNot,                 true,  true,  false, false, false, false, false, true},
+    {Op::kJz,                  false, true,  false, false, false, true,  false, true},
+    {Op::kJmp,                 false, false, false, false, false, true,  true,  false},
+    {Op::kRet,                 false, true,  false, false, false, false, true,  false},
+    {Op::kRetImm,              false, false, false, false, false, false, true,  false},
+};
+
+static_assert(std::size(kOpTable) == kNumOps,
+              "kOpTable must cover every Op; a new opcode needs an "
+              "admission row here");
+
+constexpr bool OpTableIndexed() {
+  for (size_t i = 0; i < std::size(kOpTable); ++i) {
+    if (static_cast<size_t>(kOpTable[i].op) != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+static_assert(OpTableIndexed(),
+              "kOpTable rows must appear in opcode order");
+
+}  // namespace
+
+VerifyResult Verify(const Program& program, const VerifyLimits& limits) {
+  VerifyResult result;
+  const std::vector<Insn>& code = program.code();
+  const size_t n = code.size();
+  auto fail = [&result](VerifyStatus status, size_t pc) {
+    result.status = status;
+    result.fault_pc = pc;
+    return result;
+  };
+
+  if (n == 0) {
+    return fail(VerifyStatus::kEmpty, 0);
+  }
+  if (n > limits.max_insns) {
+    return fail(VerifyStatus::kTooLong, n);
+  }
+
+  // Forward sweep: per-instruction bounds. Every check consults only the
+  // instruction itself (and its index), so this is one O(n) pass.
+  for (size_t pc = 0; pc < n; ++pc) {
+    const Insn& insn = code[pc];
+    const uint8_t opcode = static_cast<uint8_t>(insn.op);
+    if (opcode >= kNumOps) {
+      return fail(VerifyStatus::kBadOpcode, pc);
+    }
+    const OpInfo& info = kOpTable[opcode];
+    if (info.uses_dst && insn.dst >= kNumRegs) {
+      return fail(VerifyStatus::kBadRegister, pc);
+    }
+    if (info.uses_a && insn.a >= kNumRegs) {
+      return fail(VerifyStatus::kBadRegister, pc);
+    }
+    if (info.uses_b && insn.b >= kNumRegs) {
+      return fail(VerifyStatus::kBadRegister, pc);
+    }
+    if (info.is_store && (!limits.allow_stores || program.functional())) {
+      return fail(VerifyStatus::kStore, pc);
+    }
+    if (info.is_memory_read && !limits.allow_memory_reads) {
+      return fail(VerifyStatus::kAddressOp, pc);
+    }
+    switch (insn.op) {
+      case Op::kLoadArg:
+        if (insn.imm >= static_cast<uint64_t>(program.num_args()) ||
+            insn.imm >= kMaxArgs) {
+          return fail(VerifyStatus::kBadArgIndex, pc);
+        }
+        break;
+      case Op::kLoadGlobal:
+      case Op::kLoadField:
+        if (insn.b > 3) {
+          return fail(VerifyStatus::kBadWidth, pc);
+        }
+        break;
+      case Op::kStoreGlobal:
+        if (insn.b > 3) {
+          return fail(VerifyStatus::kBadWidth, pc);
+        }
+        break;
+      case Op::kStoreField:
+        // Width rides in dst for stores through a register base.
+        if (insn.dst > 3) {
+          return fail(VerifyStatus::kBadWidth, pc);
+        }
+        break;
+      case Op::kShlImm:
+      case Op::kShrImm:
+        if (insn.imm >= 64) {
+          return fail(VerifyStatus::kBadShift, pc);
+        }
+        break;
+      case Op::kJz:
+      case Op::kJmp:
+        // Forward-only control flow is the termination argument: a target
+        // that does not strictly advance would permit a loop.
+        if (insn.imm <= pc) {
+          return fail(VerifyStatus::kBackwardJump, pc);
+        }
+        if (insn.imm >= n) {
+          return fail(VerifyStatus::kJumpOutOfRange, pc);
+        }
+        break;
+      default:
+        break;
+    }
+    // Falling off the end is unreachable code at best and an interpreter
+    // panic at worst; demand a terminator on the fall-through edge.
+    if (pc + 1 == n && info.falls_through) {
+      return fail(VerifyStatus::kMissingTerminator, pc);
+    }
+  }
+
+  // Backward sweep: longest execution path through the instruction DAG.
+  // Jump targets are strictly greater than their sources (checked above),
+  // so iterating from the last instruction down visits every successor
+  // before its predecessors — longest path in O(n) with no fixpoint.
+  std::vector<uint32_t> steps(n, 0);
+  for (size_t i = n; i-- > 0;) {
+    const Insn& insn = code[i];
+    const OpInfo& info = kOpTable[static_cast<uint8_t>(insn.op)];
+    uint32_t longest = 0;
+    if (info.falls_through && i + 1 < n) {
+      longest = steps[i + 1];
+    }
+    if (info.is_jump) {
+      longest = std::max(longest, steps[insn.imm]);
+    }
+    steps[i] = 1 + longest;
+  }
+  result.budget = steps[0];
+  if (result.budget > limits.max_budget) {
+    return fail(VerifyStatus::kBudgetExceeded, n);
+  }
+  return result;
+}
+
+}  // namespace micro
+}  // namespace spin

@@ -1,0 +1,100 @@
+// BPF-style admission verification for untrusted micro-programs.
+//
+// Program::Validate() answers "is this program well-formed enough to
+// install?" for programs built locally by trusted callers. Verify() answers
+// a stricter question for programs that arrive as *data* — most importantly
+// imposed guards received over the wire in a BindReply (§2.5 across the
+// wire): before such a program may execute, let alone be compiled to native
+// code, the receiver must prove
+//
+//   - every byte names a real instruction (the decoder is structural only;
+//     opcode admission happens here),
+//   - every register and argument access is in bounds for the program's
+//     declared arity,
+//   - control flow is forward-only and in range, which together with the
+//     instruction-count cap is a proof of termination: the longest path
+//     through the instruction DAG bounds the steps any execution takes,
+//   - the program is pure: no stores, and (for wire programs) no
+//     address-forming loads at all — an absolute address or pointer
+//     dereference is meaningless, and hostile, in the receiver's address
+//     space.
+//
+// The pass is linear in the instruction count: one forward sweep for the
+// per-instruction checks, one backward sweep for the longest-path budget
+// (legal because jumps only go forward). A program that passes is safe to
+// hand to the interpreter or to CompileMicro with no per-raise checks —
+// the eBPF verify-then-JIT contract.
+#ifndef SRC_MICRO_VERIFY_H_
+#define SRC_MICRO_VERIFY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/micro/program.h"
+
+namespace spin {
+namespace micro {
+
+enum class VerifyStatus : uint8_t {
+  kOk,
+  kEmpty,             // no instructions
+  kTooLong,           // instruction count exceeds the admission cap
+  kBadOpcode,         // opcode byte does not name an instruction
+  kBadRegister,       // register operand >= kNumRegs
+  kBadArgIndex,       // payload read outside the declared arity
+  kBadWidth,          // memory width exponent not in {0,1,2,3}
+  kBadShift,          // shift amount >= 64
+  kStore,             // store instruction (impure)
+  kAddressOp,         // address-forming load (absolute or pointer-relative)
+  kBackwardJump,      // jump target <= its own index (a loop attempt)
+  kJumpOutOfRange,    // jump target beyond the last instruction
+  kMissingTerminator, // a path can fall off the end of the program
+  kBudgetExceeded,    // longest execution path exceeds the step budget
+};
+
+inline constexpr size_t kNumVerifyStatuses =
+    static_cast<size_t>(VerifyStatus::kBudgetExceeded) + 1;
+
+const char* VerifyStatusName(VerifyStatus status);
+
+// Admission policy knobs. The defaults are the wire-guard policy: bounded
+// size, no memory access of any kind, purity required.
+struct VerifyLimits {
+  size_t max_insns = 256;   // reject longer programs outright
+  size_t max_budget = 256;  // cap on the longest execution path
+  // Allow kLoadGlobal / kLoadField. Off for wire programs (addresses do
+  // not cross the wire); on when admitting locally built guards whose
+  // loads reference the installer's own memory.
+  bool allow_memory_reads = false;
+  // Allow stores. Never on for guards; exists so handlers built as
+  // micro-programs can reuse the same pass for everything but purity.
+  bool allow_stores = false;
+};
+
+// The wire admission policy for imposed guards in a BindReply.
+VerifyLimits WireGuardLimits();
+
+struct VerifyResult {
+  VerifyStatus status = VerifyStatus::kOk;
+  // Index of the offending instruction for per-insn failures; the program
+  // size for whole-program failures (kEmpty, kTooLong, kBudgetExceeded).
+  size_t fault_pc = 0;
+  // Longest execution path in instructions — the program's declared step
+  // budget. Valid only when status == kOk; every run of an admitted
+  // program terminates within this many interpreter steps.
+  size_t budget = 0;
+
+  bool ok() const { return status == VerifyStatus::kOk; }
+};
+
+// Single linear admission pass; O(code().size()) time and space.
+VerifyResult Verify(const Program& program, const VerifyLimits& limits);
+
+inline VerifyResult Verify(const Program& program) {
+  return Verify(program, VerifyLimits{});
+}
+
+}  // namespace micro
+}  // namespace spin
+
+#endif  // SRC_MICRO_VERIFY_H_

@@ -265,10 +265,20 @@ BindReplyMsg Exporter::Bind(const BindRequestMsg& request,
   }
   for (const GuardClause& guard : guards) {
     if (!guard.prog.has_value() || guard.closure_form ||
-        !WireableGuard(*guard.prog) ||
         guard.prog->num_args() !=
             static_cast<int>(entry.plan.params.size())) {
       return deny("imposed guard is not wireable for " + request.event_name);
+    }
+    // Run the same admission pass the peer's decoder will: a program this
+    // verifier refuses would be refused on arrival anyway, so fail the
+    // bind here with the precise refusal instead of shipping it.
+    micro::VerifyResult v =
+        micro::Verify(*guard.prog, micro::WireGuardLimits());
+    if (!guard.prog->functional() || !v.ok()) {
+      return deny("imposed guard is not wireable for " + request.event_name +
+                  (v.ok() ? std::string(" (not FUNCTIONAL)")
+                          : std::string(" (") +
+                                micro::VerifyStatusName(v.status) + ")"));
     }
     reply.guards.push_back(*guard.prog);
   }

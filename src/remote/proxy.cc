@@ -64,7 +64,10 @@ EventProxy::EventProxy(net::Host& host, sim::Simulator* sim,
                                                      &EventProxy::Invoke,
                                                      install);
   for (micro::Program& prog : imposed) {
-    host_.dispatcher().ImposeMicroGuard(binding_, std::move(prog));
+    host_.dispatcher().ImposeMicroGuard(
+        binding_, std::move(prog),
+        opts_.jit_guards ? Dispatcher::GuardCompileMode::kJit
+                         : Dispatcher::GuardCompileMode::kInterpret);
   }
   obs::RegisterSource(this, &EventProxy::ExportMetricsSource);
   obs::Watchdog::Global().RegisterProbe(this, &EventProxy::WatchdogProbeSource);
@@ -114,6 +117,19 @@ std::vector<micro::Program> EventProxy::BindHandshake() {
     default:
       throw RemoteError(RemoteStatus::kProtocol,
                         event_.name() + ": unexpected bind reply status");
+  }
+  // Admission refusal: the decoder verified every wire-received guard and
+  // found one it will not admit (out-of-bounds access, backward jump,
+  // store, unknown opcode, ...). The bind fails with a typed error — the
+  // hostile program never reached an evaluator and costs nothing per
+  // raise.
+  if (reply.guard_verify != micro::VerifyStatus::kOk) {
+    throw RemoteError(
+        RemoteStatus::kBadGuard,
+        event_.name() + ": imposed guard #" +
+            std::to_string(reply.guard_verify_index) +
+            " refused by the admission verifier: " +
+            micro::VerifyStatusName(reply.guard_verify));
   }
   // Imposed guards evaluate over the same argument slots locally as they
   // would exporter-side, so a mismatched arity is a protocol violation,

@@ -88,6 +88,11 @@ struct ProxyOptions {
   // (Host::SetCredential).
   std::string module_name;
   std::string credential;
+
+  // Compile verifier-admitted imposed guards to native stubs at install
+  // (the verify-then-JIT path). False keeps them interpreted — the nojit
+  // fallback and the differential/bench baseline.
+  bool jit_guards = true;
 };
 
 class EventProxy {

@@ -144,6 +144,13 @@ void PutGuard(std::string& out, const micro::Program& prog) {
   }
 }
 
+// Structural parse only: framing, counts, and field widths. Semantic
+// admission (opcode validity, bounds, termination, purity) is the
+// verifier's job — DecodeBindReply runs micro::Verify over the parsed
+// program so a hostile guard produces a typed refusal the proxy can
+// surface, rather than a dropped datagram and a timeout. Out-of-range
+// opcode bytes are preserved via the cast; the verifier rejects them as
+// kBadOpcode.
 bool GetGuard(Reader& r, micro::Program* out) {
   uint8_t num_args;
   uint16_t ninsn;
@@ -156,43 +163,27 @@ bool GetGuard(Reader& r, micro::Program* out) {
   for (int i = 0; i < ninsn; ++i) {
     uint8_t op;
     micro::Insn insn;
-    if (!r.Get8(&op) || op > static_cast<uint8_t>(micro::Op::kRetImm) ||
-        !r.Get8(&insn.dst) || !r.Get8(&insn.a) || !r.Get8(&insn.b) ||
-        !r.Get64(&insn.imm)) {
+    if (!r.Get8(&op) || !r.Get8(&insn.dst) || !r.Get8(&insn.a) ||
+        !r.Get8(&insn.b) || !r.Get64(&insn.imm)) {
       return false;
     }
     insn.op = static_cast<micro::Op>(op);
     code.push_back(insn);
   }
-  micro::Program prog(std::move(code), num_args, /*functional=*/true);
-  // Reject anything that would be uninstallable or references memory the
-  // receiver does not share; the decoder is the trust boundary.
-  if (!WireableGuard(prog)) {
-    return false;
-  }
-  *out = std::move(prog);
+  *out = micro::Program(std::move(code), num_args, /*functional=*/true);
   return true;
 }
 
 }  // namespace
 
 bool WireableGuard(const micro::Program& prog) {
-  if (!prog.functional() ||
-      prog.Validate() != micro::ValidateStatus::kOk) {
-    return false;
-  }
-  for (const micro::Insn& insn : prog.code()) {
-    switch (insn.op) {
-      case micro::Op::kLoadGlobal:
-      case micro::Op::kLoadField:
-      case micro::Op::kStoreGlobal:
-      case micro::Op::kStoreField:
-        return false;  // addresses do not cross the wire
-      default:
-        break;
-    }
-  }
-  return true;
+  // Mirror of the receiver's admission check: the sender refuses to
+  // serialize exactly what the peer's decoder would refuse to admit, so a
+  // guard that leaves this host is never silently dropped on the other
+  // side. WireGuardLimits forbids loads and stores alike — addresses do
+  // not cross the wire.
+  return prog.functional() &&
+         micro::Verify(prog, micro::WireGuardLimits()).ok();
 }
 
 std::string EncodeRequest(const RequestMsg& msg) {
@@ -375,12 +366,28 @@ bool DecodeBindReply(const std::string& wire, BindReplyMsg* out) {
   }
   out->guards.clear();
   out->guards.reserve(nguards);
+  out->guard_verify = micro::VerifyStatus::kOk;
+  out->guard_verify_index = 0;
   for (int i = 0; i < nguards; ++i) {
     micro::Program guard;
     if (!GetGuard(r, &guard)) {
-      return false;
+      return false;  // framing damage: the datagram is noise, drop it
+    }
+    // Admission: every wire-received program passes the verifier before it
+    // can reach an evaluator (interpreter or JIT). The first refusal is
+    // recorded and the remaining guards still parse structurally so the
+    // exact-length check below keeps validating the framing.
+    if (out->guard_verify == micro::VerifyStatus::kOk) {
+      micro::VerifyResult v = micro::Verify(guard, micro::WireGuardLimits());
+      if (!v.ok()) {
+        out->guard_verify = v.status;
+        out->guard_verify_index = static_cast<uint8_t>(i);
+      }
     }
     out->guards.push_back(std::move(guard));
+  }
+  if (out->guard_verify != micro::VerifyStatus::kOk) {
+    out->guards.clear();  // refused programs never reach an evaluator
   }
   if (!GetString(r, &out->error)) {
     return false;

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "src/micro/program.h"
+#include "src/micro/verify.h"
 
 namespace spin {
 namespace remote {
@@ -136,6 +137,15 @@ struct BindReplyMsg {
   // Authorizer-imposed guards, serialized for proxy-side evaluation. Each
   // is a FUNCTIONAL, address-free micro-program over the event arguments.
   std::vector<micro::Program> guards;
+  // Admission verdict for the received guards. The decoder splits the
+  // trust boundary in two: framing damage (truncation, bad counts) still
+  // fails the decode — the datagram is indistinguishable from noise — but
+  // a well-framed reply whose guard program fails the micro::Verify
+  // admission pass decodes successfully with the refusal recorded here
+  // (and `guards` cleared), so the proxy can refuse the bind with a typed
+  // error instead of timing out.
+  micro::VerifyStatus guard_verify = micro::VerifyStatus::kOk;
+  uint8_t guard_verify_index = 0;  // which guard failed (valid on != kOk)
   std::string error;
 };
 
@@ -163,10 +173,12 @@ bool DecodeRevoke(const std::string& wire, RevokeMsg* out);
 // remote-dispatch message at all.
 bool PeekType(const std::string& wire, MsgType* out);
 
-// True when `prog` may travel in a BindReply: FUNCTIONAL, structurally
-// valid, and address-free (no absolute-address or memory-store
-// instructions — a program that references exporter memory is meaningless
-// in the proxy's address space). Arg-relative computation only.
+// True when `prog` may travel in a BindReply: FUNCTIONAL and admitted by
+// the micro::Verify wire-guard pass — bounded, terminating, pure, and
+// address-free (a program that references exporter memory is meaningless
+// in the proxy's address space). Arg-relative computation only. This is
+// exactly the predicate the receiving decoder enforces, so a wireable
+// guard is guaranteed to be admitted on the other side.
 bool WireableGuard(const micro::Program& prog);
 
 }  // namespace remote

@@ -1,0 +1,389 @@
+// Adversarial admission corpus for the micro-program verifier.
+//
+// Verify() is the trust boundary for programs that arrive as data — above
+// all imposed guards received in a BindReply. These tests feed it the
+// attacks it exists to refuse: out-of-bounds register/payload access,
+// backward jumps (loop attempts), budget-exhausting control flow, store
+// smuggling inside "functional" programs, unknown opcodes, and mutated
+// wire encodings — and assert each is rejected with the precise
+// VerifyStatus, not a crash and not a generic failure.
+//
+// The flip side is the termination property: for every ACCEPTED program,
+// the interpreter must finish within the budget the verifier proved
+// (VerifyResult::budget), measured by the interpreter's own step counter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/micro/interp.h"
+#include "src/micro/program.h"
+#include "src/micro/verify.h"
+#include "src/remote/wire_format.h"
+
+namespace spin {
+namespace micro {
+namespace {
+
+Program Raw(std::vector<Insn> code, int num_args = 2,
+            bool functional = true) {
+  return Program(std::move(code), num_args, functional);
+}
+
+Insn I(Op op, uint8_t dst = 0, uint8_t a = 0, uint8_t b = 0,
+       uint64_t imm = 0) {
+  return Insn{op, dst, a, b, imm};
+}
+
+// --- Precise refusal per attack class ---------------------------------------
+
+TEST(MicroVerify, EmptyProgram) {
+  VerifyResult r = Verify(Raw({}));
+  EXPECT_EQ(r.status, VerifyStatus::kEmpty);
+}
+
+TEST(MicroVerify, TooLong) {
+  std::vector<Insn> code(300, I(Op::kLoadImm, 0, 0, 0, 1));
+  code.push_back(I(Op::kRetImm));
+  VerifyResult r = Verify(Raw(std::move(code)));
+  EXPECT_EQ(r.status, VerifyStatus::kTooLong);
+}
+
+TEST(MicroVerify, UnknownOpcode) {
+  // The wire decoder preserves out-of-range opcode bytes; admission is
+  // the verifier's job.
+  Insn bad = I(Op::kRetImm);
+  bad.op = static_cast<Op>(0xEE);
+  VerifyResult r = Verify(Raw({I(Op::kLoadImm, 0), bad}));
+  EXPECT_EQ(r.status, VerifyStatus::kBadOpcode);
+  EXPECT_EQ(r.fault_pc, 1u);
+}
+
+TEST(MicroVerify, RegisterOutOfBounds) {
+  // dst, a, and b are each checked.
+  EXPECT_EQ(Verify(Raw({I(Op::kLoadImm, 8), I(Op::kRetImm)})).status,
+            VerifyStatus::kBadRegister);
+  EXPECT_EQ(Verify(Raw({I(Op::kMov, 0, 9), I(Op::kRetImm)})).status,
+            VerifyStatus::kBadRegister);
+  EXPECT_EQ(Verify(Raw({I(Op::kAdd, 0, 1, 200), I(Op::kRetImm)})).status,
+            VerifyStatus::kBadRegister);
+}
+
+TEST(MicroVerify, PayloadReadOutOfBounds) {
+  // kLoadArg beyond the declared arity reads other stack slots in a naive
+  // evaluator — the classic OOB payload read.
+  VerifyResult r =
+      Verify(Raw({I(Op::kLoadArg, 0, 0, 0, /*imm=*/5), I(Op::kRet, 0, 0)},
+                 /*num_args=*/2));
+  EXPECT_EQ(r.status, VerifyStatus::kBadArgIndex);
+  EXPECT_EQ(r.fault_pc, 0u);
+}
+
+TEST(MicroVerify, StoreSmuggling) {
+  // Stores are refused for wire guards no matter how they are spelled.
+  EXPECT_EQ(Verify(Raw({I(Op::kStoreGlobal, 0, 0, 3, 0x1000),
+                        I(Op::kRetImm)}))
+                .status,
+            VerifyStatus::kStore);
+  EXPECT_EQ(
+      Verify(Raw({I(Op::kStoreField, 3, 0, 1, 8), I(Op::kRetImm)})).status,
+      VerifyStatus::kStore);
+  // Even with allow_stores, a FUNCTIONAL program may not store (the §2.3
+  // compiler-checked property).
+  VerifyLimits lax;
+  lax.allow_stores = true;
+  lax.allow_memory_reads = true;
+  EXPECT_EQ(Verify(Raw({I(Op::kStoreGlobal, 0, 0, 3, 0x1000),
+                        I(Op::kRetImm)}),
+                   lax)
+                .status,
+            VerifyStatus::kStore);
+}
+
+TEST(MicroVerify, AddressFormingLoads) {
+  // Wire policy: no memory reads at all — an exporter address is
+  // meaningless (and hostile) in the proxy's address space.
+  EXPECT_EQ(Verify(Raw({I(Op::kLoadGlobal, 0, 0, 3, 0xdead),
+                        I(Op::kRet, 0, 0)}),
+                   WireGuardLimits())
+                .status,
+            VerifyStatus::kAddressOp);
+  EXPECT_EQ(Verify(Raw({I(Op::kLoadField, 0, 0, 3, 8), I(Op::kRet, 0, 0)},
+                       /*num_args=*/1),
+                   WireGuardLimits())
+                .status,
+            VerifyStatus::kAddressOp);
+  // The same program is admissible under the local policy.
+  VerifyLimits local;
+  local.allow_memory_reads = true;
+  EXPECT_TRUE(Verify(Raw({I(Op::kLoadField, 0, 0, 3, 8), I(Op::kRet, 0, 0)},
+                         /*num_args=*/1),
+                     local)
+                  .ok());
+}
+
+TEST(MicroVerify, BadWidthExponent) {
+  // Width exponent rides in b for loads, dst for kStoreField.
+  EXPECT_EQ(Verify(Raw({I(Op::kLoadField, 0, 0, /*b=*/4, 0),
+                        I(Op::kRet, 0, 0)},
+                       /*num_args=*/1),
+                   VerifyLimits{256, 256, true, false})
+                .status,
+            VerifyStatus::kBadWidth);
+}
+
+TEST(MicroVerify, BadShift) {
+  VerifyResult r = Verify(
+      Raw({I(Op::kLoadImm, 0), I(Op::kShlImm, 0, 0, 0, 64), I(Op::kRet)}));
+  EXPECT_EQ(r.status, VerifyStatus::kBadShift);
+  EXPECT_EQ(r.fault_pc, 1u);
+}
+
+TEST(MicroVerify, BackwardJumpIsLoopAttempt) {
+  // The budget-exhausting attack: jump back and spin. Refused as a
+  // backward jump — the verifier never needs to simulate it.
+  VerifyResult r = Verify(Raw({I(Op::kLoadImm, 0, 0, 0, 1),
+                               I(Op::kJmp, 0, 0, 0, /*imm=*/0),
+                               I(Op::kRetImm)}));
+  EXPECT_EQ(r.status, VerifyStatus::kBackwardJump);
+  EXPECT_EQ(r.fault_pc, 1u);
+  // Self-jump is equally a loop.
+  EXPECT_EQ(
+      Verify(Raw({I(Op::kJmp, 0, 0, 0, 0), I(Op::kRetImm)})).status,
+      VerifyStatus::kBackwardJump);
+}
+
+TEST(MicroVerify, JumpOutOfRange) {
+  VerifyResult r =
+      Verify(Raw({I(Op::kJz, 0, 0, 0, /*imm=*/7), I(Op::kRetImm)}));
+  EXPECT_EQ(r.status, VerifyStatus::kJumpOutOfRange);
+}
+
+TEST(MicroVerify, MissingTerminator) {
+  VerifyResult r = Verify(Raw({I(Op::kLoadImm, 0, 0, 0, 1)}));
+  EXPECT_EQ(r.status, VerifyStatus::kMissingTerminator);
+}
+
+TEST(MicroVerify, BudgetExceededUnderCustomLimit) {
+  // Jumps are forward-only, so the longest path is bounded by the length
+  // and kBudgetExceeded only fires under limits tighter than max_insns —
+  // the knob an embedder uses to price admission below program size.
+  std::vector<Insn> code(31, I(Op::kLoadImm, 0, 0, 0, 1));
+  code.push_back(I(Op::kRetImm));
+  VerifyLimits tight;
+  tight.max_budget = 16;
+  VerifyResult r = Verify(Raw(std::move(code)), tight);
+  EXPECT_EQ(r.status, VerifyStatus::kBudgetExceeded);
+}
+
+TEST(MicroVerify, StatusNamesExhaustive) {
+  for (size_t i = 0; i < kNumVerifyStatuses; ++i) {
+    const char* name = VerifyStatusName(static_cast<VerifyStatus>(i));
+    EXPECT_STRNE(name, "<bad>") << "status " << i;
+  }
+}
+
+// --- Termination property over accepted programs ----------------------------
+
+struct Rng {
+  uint64_t state;
+  uint64_t Next() {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+};
+
+// Random pure program: straight-line ALU ops with forward jumps sprinkled
+// in, always terminated. Constructed to pass Verify by construction.
+Program RandomPure(Rng& rng, int num_args) {
+  size_t body = 1 + rng.Below(40);
+  std::vector<Insn> code;
+  for (size_t i = 0; i < body; ++i) {
+    switch (rng.Below(6)) {
+      case 0:
+        code.push_back(I(Op::kLoadArg, rng.Below(kNumRegs), 0, 0,
+                         rng.Below(num_args)));
+        break;
+      case 1:
+        code.push_back(I(Op::kLoadImm, rng.Below(kNumRegs), 0, 0,
+                         rng.Next()));
+        break;
+      case 2:
+        code.push_back(I(Op::kAdd, rng.Below(kNumRegs),
+                         rng.Below(kNumRegs), rng.Below(kNumRegs)));
+        break;
+      case 3:
+        code.push_back(I(Op::kCmpLtU, rng.Below(kNumRegs),
+                         rng.Below(kNumRegs), rng.Below(kNumRegs)));
+        break;
+      case 4:
+        code.push_back(I(Op::kShrImm, rng.Below(kNumRegs),
+                         rng.Below(kNumRegs), 0, rng.Below(64)));
+        break;
+      default: {
+        // Forward jump to a strictly later index; the tail below
+        // guarantees any target <= body is in range and reaches a
+        // terminator.
+        size_t pc = code.size();
+        uint64_t target = pc + 1 + rng.Below(body - i);
+        code.push_back(I(rng.Below(2) ? Op::kJz : Op::kJmp,
+                         0, rng.Below(kNumRegs), 0, target));
+        break;
+      }
+    }
+  }
+  code.push_back(I(Op::kRet, 0, rng.Below(kNumRegs)));
+  return Program(std::move(code), num_args, /*functional=*/true);
+}
+
+TEST(MicroVerify, AcceptedProgramsTerminateWithinBudget) {
+  Rng rng{0x5eedULL};
+  int checked = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    int num_args = 1 + static_cast<int>(rng.Below(6));
+    Program prog = RandomPure(rng, num_args);
+    VerifyResult v = Verify(prog, WireGuardLimits());
+    ASSERT_TRUE(v.ok()) << "iter " << iter << ": "
+                        << VerifyStatusName(v.status) << " at pc "
+                        << v.fault_pc << "\n"
+                        << prog.ToString();
+    ASSERT_LE(v.budget, prog.code().size());
+    uint64_t args[kMaxArgs] = {};
+    for (int i = 0; i < num_args; ++i) {
+      args[i] = rng.Next();
+    }
+    uint64_t steps = 0;
+    (void)::spin::micro::Run(prog, args, num_args, &steps);
+    ASSERT_LE(steps, v.budget) << "iter " << iter
+                               << ": interpreter exceeded the proved "
+                                  "budget\n"
+                               << prog.ToString();
+    ++checked;
+  }
+  EXPECT_EQ(checked, 2000);
+}
+
+// --- Wire-level admission (mutated encodings) --------------------------------
+
+// A bind reply carrying one well-formed guard.
+remote::BindReplyMsg OkReply() {
+  remote::BindReplyMsg reply;
+  reply.status = remote::WireStatus::kOk;
+  reply.bind_id = 7;
+  reply.token = 0xfeed;
+  reply.guards.push_back(std::move(ProgramBuilder(2, /*functional=*/true)
+                                       .LoadArg(0, 0)
+                                       .LoadImm(1, 42)
+                                       .CmpEq(2, 0, 1)
+                                       .Ret(2))
+                             .Build());
+  return reply;
+}
+
+// Offset of the first guard instruction's opcode byte in the encoded
+// reply: header(4) + status(1) + bind_id(8) + token(8) + nguards(1) +
+// num_args(1) + ninsn(2).
+constexpr size_t kFirstOpcodeOffset = 4 + 1 + 8 + 8 + 1 + 1 + 2;
+
+TEST(MicroVerifyWire, SemanticRefusalIsTypedNotDropped) {
+  std::string wire = remote::EncodeBindReply(OkReply());
+  // Mutate the first opcode byte into garbage: still a well-framed reply,
+  // so the decode SUCCEEDS with the refusal recorded — the proxy turns it
+  // into RemoteError(kBadGuard) instead of a timeout.
+  wire[kFirstOpcodeOffset] = static_cast<char>(0xEE);
+  remote::BindReplyMsg out;
+  ASSERT_TRUE(remote::DecodeBindReply(wire, &out));
+  EXPECT_EQ(out.guard_verify, VerifyStatus::kBadOpcode);
+  EXPECT_EQ(out.guard_verify_index, 0);
+  EXPECT_TRUE(out.guards.empty()) << "refused guards must not escape";
+}
+
+TEST(MicroVerifyWire, RefusalReportsPreciseStatus) {
+  struct Case {
+    size_t offset;  // within the first instruction
+    uint8_t value;
+    VerifyStatus expect;
+  };
+  // First instruction is kLoadArg dst=0 a=0 b=0 imm=0 at
+  // kFirstOpcodeOffset: op(1) dst(1) a(1) b(1) imm(8).
+  const Case kCases[] = {
+      {0, 0xEE, VerifyStatus::kBadOpcode},
+      {1, 200, VerifyStatus::kBadRegister},           // dst out of range
+      {11, 6, VerifyStatus::kBadArgIndex},            // imm low byte: arg 6 of 2
+      {0, static_cast<uint8_t>(Op::kStoreGlobal), VerifyStatus::kStore},
+      {0, static_cast<uint8_t>(Op::kLoadGlobal), VerifyStatus::kAddressOp},
+      {0, static_cast<uint8_t>(Op::kJmp), VerifyStatus::kBackwardJump},
+  };
+  for (const Case& c : kCases) {
+    std::string wire = remote::EncodeBindReply(OkReply());
+    wire[kFirstOpcodeOffset + c.offset] = static_cast<char>(c.value);
+    remote::BindReplyMsg out;
+    ASSERT_TRUE(remote::DecodeBindReply(wire, &out))
+        << "offset " << c.offset;
+    EXPECT_EQ(out.guard_verify, c.expect) << "offset " << c.offset;
+    EXPECT_TRUE(out.guards.empty());
+  }
+}
+
+TEST(MicroVerifyWire, TruncationIsStillStructuralFailure) {
+  // Framing damage stays a decode failure: a truncated reply is noise,
+  // not a refusable program.
+  std::string wire = remote::EncodeBindReply(OkReply());
+  for (size_t len = 0; len < wire.size(); ++len) {
+    remote::BindReplyMsg out;
+    EXPECT_FALSE(remote::DecodeBindReply(wire.substr(0, len), &out))
+        << "truncated to " << len;
+  }
+}
+
+TEST(MicroVerifyWire, MutationSweepNeverCrashes) {
+  // Deterministic single-byte mutation sweep over the whole frame: every
+  // outcome is acceptable (decode failure or typed refusal or a different
+  // valid reply) except a crash — run under ASan/UBSan/TSan in CI.
+  std::string base = remote::EncodeBindReply(OkReply());
+  for (size_t pos = 0; pos < base.size(); ++pos) {
+    for (uint8_t delta : {0x01, 0x80, 0xFF}) {
+      std::string wire = base;
+      wire[pos] = static_cast<char>(wire[pos] ^ delta);
+      remote::BindReplyMsg out;
+      if (remote::DecodeBindReply(wire, &out) &&
+          out.guard_verify == VerifyStatus::kOk) {
+        // Whatever decoded cleanly must re-verify cleanly: admitted
+        // guards are always safe to execute.
+        for (const Program& g : out.guards) {
+          EXPECT_TRUE(Verify(g, WireGuardLimits()).ok());
+        }
+      }
+    }
+  }
+}
+
+TEST(MicroVerifyWire, WireableGuardMatchesReceiverAdmission) {
+  // The sender-side predicate and the receiver-side admission are the
+  // same function: anything WireableGuard accepts round-trips and is
+  // admitted; anything it rejects would be refused on arrival.
+  Program pure =
+      std::move(ProgramBuilder(1, true).LoadArg(0, 0).Ret(0)).Build();
+  EXPECT_TRUE(remote::WireableGuard(pure));
+  EXPECT_TRUE(Verify(pure, WireGuardLimits()).ok());
+
+  Program memory = std::move(ProgramBuilder(1, true)
+                                 .LoadField(0, 0, 0, 8)
+                                 .Ret(0))
+                       .Build();
+  EXPECT_FALSE(remote::WireableGuard(memory));
+  EXPECT_FALSE(Verify(memory, WireGuardLimits()).ok());
+
+  Program impure =
+      std::move(ProgramBuilder(1, false).LoadArg(0, 0).Ret(0)).Build();
+  EXPECT_FALSE(remote::WireableGuard(impure)) << "non-FUNCTIONAL";
+}
+
+}  // namespace
+}  // namespace micro
+}  // namespace spin

@@ -118,7 +118,11 @@ TEST(RemoteWireFormat, BindMessagesRoundTrip) {
 TEST(RemoteWireFormat, AddressedGuardsDoNotCrossTheWire) {
   // A guard that dereferences exporter memory is meaningless in the
   // proxy's address space: WireableGuard refuses it, and the bind-reply
-  // decoder is the matching trust boundary on the receiving side.
+  // decoder's admission verifier is the matching trust boundary on the
+  // receiving side. The reply is well-framed, so the decode itself
+  // succeeds and the refusal is typed — the program never reaches an
+  // evaluator (guards cleared) and the proxy can report kBadGuard
+  // instead of timing out on a silently dropped datagram.
   static uint64_t global = 7;
   micro::Program addressed = micro::GuardGlobalEq(&global, 7);
   EXPECT_FALSE(WireableGuard(addressed));
@@ -129,7 +133,10 @@ TEST(RemoteWireFormat, AddressedGuardsDoNotCrossTheWire) {
   rep.token = 1;
   rep.guards.push_back(addressed);
   BindReplyMsg out;
-  EXPECT_FALSE(DecodeBindReply(EncodeBindReply(rep), &out));
+  ASSERT_TRUE(DecodeBindReply(EncodeBindReply(rep), &out));
+  EXPECT_EQ(out.guard_verify, micro::VerifyStatus::kAddressOp);
+  EXPECT_EQ(out.guard_verify_index, 0);
+  EXPECT_TRUE(out.guards.empty());
 }
 
 TEST(RemoteWireFormat, ReplyRoundTrip) {

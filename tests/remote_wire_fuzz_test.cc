@@ -201,6 +201,16 @@ bool DecodeAny(const std::string& wire, std::string* reencoded) {
       if (!DecodeBindReply(wire, &msg)) {
         return false;
       }
+      // A well-framed reply whose guard fails the admission verifier is a
+      // typed refusal: the decode succeeds so the proxy can surface the
+      // precise status, but the refused programs are dropped rather than
+      // kept, so the frame has no canonical re-encoding. Counts as a
+      // rejection for the canonicality property.
+      if (msg.guard_verify != micro::VerifyStatus::kOk) {
+        EXPECT_TRUE(msg.guards.empty())
+            << "refused guard programs must not survive the decode";
+        return false;
+      }
       *reencoded = EncodeBindReply(msg);
       return true;
     }

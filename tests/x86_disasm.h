@@ -1,0 +1,473 @@
+// A deliberately small length-decoding x86-64 disassembler for the golden
+// codegen tests.
+//
+// It covers exactly the encoder inventory of src/codegen/lir.cc — the only
+// instructions the stub compiler can emit — and refuses everything else.
+// That refusal is the point: if a future encoder change emits a byte
+// sequence this decoder does not recognize, the golden test fails loudly
+// instead of silently checking in bytes nobody can read. Keep the two files
+// in lockstep: a new LOp case in lir.cc needs a decode case here and
+// regenerated golden files (tools/update_golden.py).
+//
+// Not supported (never emitted): RIP-relative addressing, SIB scales or
+// index registers, 8/16-bit immediates outside shifts, legacy prefixes
+// other than 0x66, VEX/EVEX, anything floating-point.
+#ifndef TESTS_X86_DISASM_H_
+#define TESTS_X86_DISASM_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace spin {
+namespace testdisasm {
+
+inline const char* Reg64(int r) {
+  static const char* kNames[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                   "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                   "r12", "r13", "r14", "r15"};
+  return kNames[r & 15];
+}
+
+inline const char* Reg32(int r) {
+  static const char* kNames[16] = {"eax", "ecx", "edx",  "ebx",  "esp",
+                                   "ebp", "esi", "edi",  "r8d",  "r9d",
+                                   "r10d", "r11d", "r12d", "r13d", "r14d",
+                                   "r15d"};
+  return kNames[r & 15];
+}
+
+inline const char* Reg16(int r) {
+  static const char* kNames[16] = {"ax",  "cx",  "dx",   "bx",   "sp",
+                                   "bp",  "si",  "di",   "r8w",  "r9w",
+                                   "r10w", "r11w", "r12w", "r13w", "r14w",
+                                   "r15w"};
+  return kNames[r & 15];
+}
+
+// Byte registers. With any REX prefix present, encodings 4..7 mean
+// spl/bpl/sil/dil; without, they mean ah/ch/dh/bh (the encoder forces an
+// empty REX precisely to avoid those).
+inline const char* Reg8(int r, bool have_rex) {
+  static const char* kRex[16] = {"al",  "cl",  "dl",   "bl",   "spl",
+                                 "bpl", "sil", "dil",  "r8b",  "r9b",
+                                 "r10b", "r11b", "r12b", "r13b", "r14b",
+                                 "r15b"};
+  static const char* kLegacy[8] = {"al", "cl", "dl", "bl",
+                                   "ah", "ch", "dh", "bh"};
+  return have_rex ? kRex[r & 15] : kLegacy[r & 7];
+}
+
+inline const char* RegSized(int r, int bits) {
+  switch (bits) {
+    case 16:
+      return Reg16(r);
+    case 32:
+      return Reg32(r);
+    default:
+      return Reg64(r);
+  }
+}
+
+inline const char* CcName(int cc) {
+  static const char* kNames[16] = {"o", "no", "b",  "ae", "e",  "ne",
+                                   "be", "a",  "s",  "ns", "p",  "np",
+                                   "l",  "ge", "le", "g"};
+  return kNames[cc & 15];
+}
+
+struct ModRm {
+  bool is_reg = false;
+  int reg = 0;       // modrm.reg, REX.R applied
+  int rm = 0;        // register operand or memory base, REX.B applied
+  int32_t disp = 0;  // memory form only
+  size_t len = 0;    // bytes consumed, including SIB and displacement
+};
+
+inline bool ReadModRm(const uint8_t* p, size_t avail, uint8_t rex,
+                      ModRm* out) {
+  if (avail < 1) {
+    return false;
+  }
+  uint8_t m = p[0];
+  int mod = m >> 6;
+  out->reg = ((m >> 3) & 7) | ((rex & 0x04) ? 8 : 0);
+  int rm = m & 7;
+  size_t n = 1;
+  if (mod == 3) {
+    out->is_reg = true;
+    out->rm = rm | ((rex & 0x01) ? 8 : 0);
+    out->disp = 0;
+    out->len = n;
+    return true;
+  }
+  out->is_reg = false;
+  int base = rm;
+  if (rm == 4) {  // SIB byte; the encoder only ever emits 0x24 (base-only)
+    if (avail < n + 1) {
+      return false;
+    }
+    uint8_t sib = p[n++];
+    if ((sib >> 6) != 0 || ((sib >> 3) & 7) != 4) {
+      return false;  // scaled-index forms are never emitted
+    }
+    base = sib & 7;
+  } else if (mod == 0 && rm == 5) {
+    return false;  // RIP-relative: never emitted
+  }
+  out->rm = base | ((rex & 0x01) ? 8 : 0);
+  if (mod == 1) {
+    if (avail < n + 1) {
+      return false;
+    }
+    out->disp = static_cast<int8_t>(p[n]);
+    n += 1;
+  } else if (mod == 2) {
+    if (avail < n + 4) {
+      return false;
+    }
+    uint32_t d = 0;
+    for (int i = 0; i < 4; ++i) {
+      d |= static_cast<uint32_t>(p[n + i]) << (8 * i);
+    }
+    out->disp = static_cast<int32_t>(d);
+    n += 4;
+  }
+  out->len = n;
+  return true;
+}
+
+inline std::string MemStr(const ModRm& m) {
+  char buf[48];
+  if (m.disp == 0) {
+    std::snprintf(buf, sizeof(buf), "[%s]", Reg64(m.rm));
+  } else if (m.disp < 0) {
+    std::snprintf(buf, sizeof(buf), "[%s-0x%x]", Reg64(m.rm), -m.disp);
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%s+0x%x]", Reg64(m.rm), m.disp);
+  }
+  return buf;
+}
+
+inline uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+struct Decoded {
+  size_t len = 0;
+  std::string text;
+};
+
+// Decodes the instruction at p (which sits at `offset` within its routine,
+// used to resolve branch targets). Returns false on anything outside the
+// encoder's inventory.
+inline bool DecodeOne(const uint8_t* p, size_t avail, size_t offset,
+                      Decoded* out) {
+  size_t n = 0;
+  bool opsize = false;
+  if (n < avail && p[n] == 0x66) {
+    opsize = true;
+    ++n;
+  }
+  uint8_t rex = 0;
+  bool have_rex = false;
+  if (n < avail && (p[n] & 0xF0) == 0x40) {
+    rex = p[n];
+    have_rex = true;
+    ++n;
+  }
+  if (n >= avail) {
+    return false;
+  }
+  bool w = (rex & 0x08) != 0;
+  int bits = opsize ? 16 : (w ? 64 : 32);
+  uint8_t op = p[n++];
+  char buf[96];
+  ModRm m;
+
+  switch (op) {
+    case 0x0F: {
+      if (n >= avail) {
+        return false;
+      }
+      uint8_t sub = p[n++];
+      if (sub == 0xB6 || sub == 0xB7) {  // movzx r, r/m8|r/m16
+        if (!ReadModRm(p + n, avail - n, rex, &m)) {
+          return false;
+        }
+        n += m.len;
+        std::string src =
+            m.is_reg ? std::string(sub == 0xB6 ? Reg8(m.rm, have_rex)
+                                               : Reg16(m.rm))
+                     : std::string(sub == 0xB6 ? "byte " : "word ") +
+                           MemStr(m);
+        std::snprintf(buf, sizeof(buf), "movzx %s, %s",
+                      RegSized(m.reg, w ? 64 : 32), src.c_str());
+        out->text = buf;
+        break;
+      }
+      if (sub >= 0x90 && sub <= 0x9F) {  // setcc r/m8
+        if (!ReadModRm(p + n, avail - n, rex, &m) || !m.is_reg) {
+          return false;
+        }
+        n += m.len;
+        std::snprintf(buf, sizeof(buf), "set%s %s", CcName(sub - 0x90),
+                      Reg8(m.rm, have_rex));
+        out->text = buf;
+        break;
+      }
+      if (sub >= 0x80 && sub <= 0x8F) {  // jcc rel32
+        if (avail < n + 4) {
+          return false;
+        }
+        int32_t rel = static_cast<int32_t>(ReadU32(p + n));
+        n += 4;
+        std::snprintf(buf, sizeof(buf), "j%s 0x%llx", CcName(sub - 0x80),
+                      static_cast<unsigned long long>(offset + n + rel));
+        out->text = buf;
+        break;
+      }
+      return false;
+    }
+    case 0x50: case 0x51: case 0x52: case 0x53:
+    case 0x54: case 0x55: case 0x56: case 0x57:
+      std::snprintf(buf, sizeof(buf), "push %s",
+                    Reg64((op - 0x50) | ((rex & 1) ? 8 : 0)));
+      out->text = buf;
+      break;
+    case 0x58: case 0x59: case 0x5A: case 0x5B:
+    case 0x5C: case 0x5D: case 0x5E: case 0x5F:
+      std::snprintf(buf, sizeof(buf), "pop %s",
+                    Reg64((op - 0x58) | ((rex & 1) ? 8 : 0)));
+      out->text = buf;
+      break;
+    case 0x88:  // mov r/m8, r8
+      if (!ReadModRm(p + n, avail - n, rex, &m) || m.is_reg) {
+        return false;
+      }
+      n += m.len;
+      std::snprintf(buf, sizeof(buf), "mov byte %s, %s", MemStr(m).c_str(),
+                    Reg8(m.reg, have_rex));
+      out->text = buf;
+      break;
+    case 0x01: case 0x09: case 0x21: case 0x29:
+    case 0x31: case 0x39: case 0x85: case 0x89: {
+      const char* name = op == 0x01   ? "add"
+                         : op == 0x09 ? "or"
+                         : op == 0x21 ? "and"
+                         : op == 0x29 ? "sub"
+                         : op == 0x31 ? "xor"
+                         : op == 0x39 ? "cmp"
+                         : op == 0x85 ? "test"
+                                      : "mov";
+      if (!ReadModRm(p + n, avail - n, rex, &m)) {
+        return false;
+      }
+      n += m.len;
+      std::string dst =
+          m.is_reg ? std::string(RegSized(m.rm, bits)) : MemStr(m);
+      std::snprintf(buf, sizeof(buf), "%s %s, %s", name, dst.c_str(),
+                    RegSized(m.reg, bits));
+      out->text = buf;
+      break;
+    }
+    case 0x8B:  // mov r, r/m
+      if (!ReadModRm(p + n, avail - n, rex, &m)) {
+        return false;
+      }
+      n += m.len;
+      std::snprintf(
+          buf, sizeof(buf), "mov %s, %s", RegSized(m.reg, bits),
+          (m.is_reg ? std::string(RegSized(m.rm, bits)) : MemStr(m))
+              .c_str());
+      out->text = buf;
+      break;
+    case 0x8D:  // lea r64, [mem]
+      if (!ReadModRm(p + n, avail - n, rex, &m) || m.is_reg) {
+        return false;
+      }
+      n += m.len;
+      std::snprintf(buf, sizeof(buf), "lea %s, %s", Reg64(m.reg),
+                    MemStr(m).c_str());
+      out->text = buf;
+      break;
+    case 0xB8: case 0xB9: case 0xBA: case 0xBB:
+    case 0xBC: case 0xBD: case 0xBE: case 0xBF: {
+      int reg = (op - 0xB8) | ((rex & 1) ? 8 : 0);
+      if (w) {
+        if (avail < n + 8) {
+          return false;
+        }
+        std::snprintf(buf, sizeof(buf), "movabs %s, 0x%llx", Reg64(reg),
+                      static_cast<unsigned long long>(ReadU64(p + n)));
+        n += 8;
+      } else {
+        if (avail < n + 4) {
+          return false;
+        }
+        std::snprintf(buf, sizeof(buf), "mov %s, 0x%x", Reg32(reg),
+                      ReadU32(p + n));
+        n += 4;
+      }
+      out->text = buf;
+      break;
+    }
+    case 0xC1: {  // shl/shr r, imm8
+      if (!ReadModRm(p + n, avail - n, rex, &m) || !m.is_reg) {
+        return false;
+      }
+      n += m.len;
+      const char* name;
+      if (m.reg == 4) {
+        name = "shl";
+      } else if (m.reg == 5) {
+        name = "shr";
+      } else {
+        return false;
+      }
+      if (avail < n + 1) {
+        return false;
+      }
+      std::snprintf(buf, sizeof(buf), "%s %s, %u", name,
+                    RegSized(m.rm, bits), p[n]);
+      n += 1;
+      out->text = buf;
+      break;
+    }
+    case 0xC3:
+      out->text = "ret";
+      break;
+    case 0xC7: {  // mov r/m, imm32 (reg field /0)
+      if (!ReadModRm(p + n, avail - n, rex, &m) || (m.reg & 7) != 0) {
+        return false;
+      }
+      n += m.len;
+      if (avail < n + 4) {
+        return false;
+      }
+      int32_t imm = static_cast<int32_t>(ReadU32(p + n));
+      n += 4;
+      if (m.is_reg) {
+        // The encoder uses the C7 form only for sign-extended negatives.
+        if (imm < 0) {
+          std::snprintf(buf, sizeof(buf), "mov %s, -0x%x",
+                        RegSized(m.rm, bits), -imm);
+        } else {
+          std::snprintf(buf, sizeof(buf), "mov %s, 0x%x",
+                        RegSized(m.rm, bits), imm);
+        }
+      } else {
+        std::snprintf(buf, sizeof(buf), "mov dword %s, 0x%x",
+                      MemStr(m).c_str(), static_cast<uint32_t>(imm));
+      }
+      out->text = buf;
+      break;
+    }
+    case 0x81: {  // cmp r, imm32 (reg field /7)
+      if (!ReadModRm(p + n, avail - n, rex, &m) || !m.is_reg ||
+          (m.reg & 7) != 7) {
+        return false;
+      }
+      n += m.len;
+      if (avail < n + 4) {
+        return false;
+      }
+      std::snprintf(buf, sizeof(buf), "cmp %s, 0x%x", RegSized(m.rm, bits),
+                    ReadU32(p + n));
+      n += 4;
+      out->text = buf;
+      break;
+    }
+    case 0xE9: {  // jmp rel32
+      if (avail < n + 4) {
+        return false;
+      }
+      int32_t rel = static_cast<int32_t>(ReadU32(p + n));
+      n += 4;
+      std::snprintf(buf, sizeof(buf), "jmp 0x%llx",
+                    static_cast<unsigned long long>(offset + n + rel));
+      out->text = buf;
+      break;
+    }
+    case 0xFF: {  // /0 inc dword [mem], /2 call reg
+      if (!ReadModRm(p + n, avail - n, rex, &m)) {
+        return false;
+      }
+      n += m.len;
+      if ((m.reg & 7) == 0 && !m.is_reg) {
+        std::snprintf(buf, sizeof(buf), "inc dword %s", MemStr(m).c_str());
+      } else if ((m.reg & 7) == 2 && m.is_reg) {
+        std::snprintf(buf, sizeof(buf), "call %s", Reg64(m.rm));
+      } else {
+        return false;
+      }
+      out->text = buf;
+      break;
+    }
+    default:
+      return false;
+  }
+  out->len = n;
+  return true;
+}
+
+// Disassembles a whole routine into one line per instruction:
+//   offset: raw bytes  mnemonic
+// Returns false (and stops with an <undecodable> line) on any byte
+// sequence outside the encoder inventory, or when the last instruction
+// runs past the end of the buffer.
+inline bool Disassemble(const uint8_t* code, size_t size,
+                        std::string* listing) {
+  listing->clear();
+  size_t off = 0;
+  while (off < size) {
+    Decoded d;
+    char head[32];
+    if (!DecodeOne(code + off, size - off, off, &d)) {
+      std::snprintf(head, sizeof(head), "%4llx: ",
+                    static_cast<unsigned long long>(off));
+      listing->append(head);
+      char byte[8];
+      std::snprintf(byte, sizeof(byte), "%02x ", code[off]);
+      listing->append(byte);
+      listing->append("<undecodable>\n");
+      return false;
+    }
+    std::snprintf(head, sizeof(head), "%4llx: ",
+                  static_cast<unsigned long long>(off));
+    listing->append(head);
+    std::string hex;
+    for (size_t i = 0; i < d.len; ++i) {
+      char byte[8];
+      std::snprintf(byte, sizeof(byte), "%02x ", code[off + i]);
+      hex.append(byte);
+    }
+    // Pad so mnemonics line up; the longest instruction (REX + movabs
+    // imm64) is 10 bytes = 30 hex chars.
+    while (hex.size() < 32) {
+      hex.push_back(' ');
+    }
+    listing->append(hex);
+    listing->append(d.text);
+    listing->push_back('\n');
+    off += d.len;
+  }
+  return true;
+}
+
+}  // namespace testdisasm
+}  // namespace spin
+
+#endif  // TESTS_X86_DISASM_H_

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Regenerate (or check) the disassembler-verified codegen golden corpus.
+
+The codegen_golden_test binary emits every stub shape the runtime code
+generator produces, disassembles the bytes, and compares the listing
+against tests/golden/stubs.golden. After an intentional codegen change,
+run this script to rewrite the golden file from the binary's --dump
+output; with --check it only verifies and exits nonzero on drift (the CI
+form, so a codegen change cannot land without its regenerated golden).
+
+Usage:
+  python3 tools/update_golden.py [--check] [--build-dir BUILD] [--binary PATH]
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+GOLDEN = REPO / "tests" / "golden" / "stubs.golden"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="verify only; exit 1 on drift")
+    parser.add_argument("--build-dir", default=str(REPO / "build"),
+                        help="build tree containing the test binary")
+    parser.add_argument("--binary", default=None,
+                        help="explicit path to codegen_golden_test")
+    args = parser.parse_args()
+
+    binary = pathlib.Path(args.binary) if args.binary else \
+        pathlib.Path(args.build_dir) / "tests" / "codegen_golden_test"
+    if not binary.exists():
+        print(f"error: {binary} not found; build the repo first "
+              f"(cmake --build {args.build_dir})", file=sys.stderr)
+        return 2
+
+    proc = subprocess.run([str(binary), "--dump"], capture_output=True)
+    if proc.returncode != 0:
+        sys.stderr.buffer.write(proc.stderr)
+        print("error: --dump failed; fix the corpus before regenerating",
+              file=sys.stderr)
+        return 2
+    actual = proc.stdout
+
+    if not actual.strip():
+        # Codegen unavailable (non-x86-64 host or SPIN_DISABLE_JIT): nothing
+        # to compare, nothing to rewrite.
+        sys.stderr.buffer.write(proc.stderr)
+        print("codegen unavailable; golden corpus not touched")
+        return 0
+
+    expected = GOLDEN.read_bytes() if GOLDEN.exists() else b""
+    if actual == expected:
+        print(f"{GOLDEN.relative_to(REPO)}: up to date")
+        return 0
+
+    if args.check:
+        print(f"error: {GOLDEN.relative_to(REPO)} is stale; regenerate "
+              f"with: python3 tools/update_golden.py", file=sys.stderr)
+        return 1
+
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_bytes(actual)
+    print(f"{GOLDEN.relative_to(REPO)}: rewritten "
+          f"({len(actual.splitlines())} lines); review the diff")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
