@@ -11,10 +11,17 @@
 // mid-stream losses from dup-ACK feedback in about one round-trip, so
 // both deliver more responses per virtual second.
 //
-// Usage: bench_fleet [out.json]  — rows go to stdout; with an argument the
-// full JSON document is also written to the file (CI uploads it as
-// BENCH_fleet.json).
+// Usage: bench_fleet [--smoke] [out.json]  — rows go to stdout; with a
+// file argument the full JSON document is also written there (CI uploads
+// it as BENCH_fleet.json).
+//
+// --smoke shrinks the grid to 4 deterministic virtual-time cells (8
+// hosts, 16 connections, 200 ms) for the CI regression gate: every
+// number in a smoke row derives from the simulator clock and a seeded
+// loss stream, so tools/bench_diff.py can hold them to a near-exact
+// threshold against bench/BENCH_fleet_smoke.json on any machine.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -25,18 +32,20 @@
 
 namespace {
 
-std::string RunCell(const std::string& stack, double loss) {
+std::string RunCell(const std::string& stack, double loss, bool smoke,
+                    uint32_t trace_sample_rate = 0) {
   spin::Dispatcher::Config config;
   config.shards = 8;
   spin::Dispatcher dispatcher(config);
 
   spin::fleet::FleetOptions options;
-  options.pairs = 100;
-  options.conns_per_pair = 20;  // 200 hosts, 2000 connections
+  options.pairs = smoke ? 4 : 100;
+  options.conns_per_pair = smoke ? 4 : 20;
   options.stack = stack;
   options.loss = loss;
   options.seed = 42;
-  options.duration_ns = 1'000'000'000;
+  options.duration_ns = smoke ? 200'000'000 : 1'000'000'000;
+  options.trace_sample_rate = trace_sample_rate;
 
   spin::fleet::Fleet fleet(&dispatcher, options);
   spin::fleet::FleetReport report = fleet.Run();
@@ -46,16 +55,39 @@ std::string RunCell(const std::string& stack, double loss) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string stacks[] = {"stop_and_wait", "reno", "rack_lite"};
-  const double losses[] = {0.0, 0.01, 0.05};
+  bool smoke = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const std::vector<std::string> stacks =
+      smoke ? std::vector<std::string>{"stop_and_wait", "reno"}
+            : std::vector<std::string>{"stop_and_wait", "reno", "rack_lite"};
+  const std::vector<double> losses =
+      smoke ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.01, 0.05};
 
   std::vector<std::string> rows;
   for (const std::string& stack : stacks) {
     for (double loss : losses) {
-      std::string row = RunCell(stack, loss);
+      std::string row = RunCell(stack, loss, smoke);
       std::cout << row << "\n" << std::flush;
       rows.push_back(row);
     }
+  }
+  if (!smoke) {
+    // One traced cell for the full run: sampled tracing at 1-in-64 with
+    // the phase self-time totals appended (phase_self_ns). Not part of
+    // the smoke gate — the totals are host-clock, machine-dependent.
+    std::string row = RunCell("reno", 0.0, /*smoke=*/false,
+                              /*trace_sample_rate=*/64);
+    std::cout << row << "\n" << std::flush;
+    rows.push_back(row);
   }
 
   std::string doc = "{\n  \"bench\": \"fleet\",\n  \"rows\": [\n";
@@ -64,10 +96,10 @@ int main(int argc, char** argv) {
   }
   doc += "  ]\n}\n";
 
-  if (argc > 1) {
-    std::ofstream out(argv[1]);
+  if (out_path != nullptr) {
+    std::ofstream out(out_path);
     if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", out_path);
       return 1;
     }
     out << doc;

@@ -20,6 +20,8 @@
 #include "src/core/errors.h"
 #include "src/net/host.h"
 #include "src/obs/context.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/query.h"
 #include "src/obs/trace.h"
 #include "src/remote/exporter.h"
 #include "src/remote/proxy.h"
@@ -173,6 +175,104 @@ SyncResult SyncRoundtripTraced(int rounds, bool tracing) {
   return SyncResult{StatsFromSamples(std::move(wire_ns)),
                     StatsFromSamples(std::move(host_ns)),
                     spin::remote::EncodeRequest(probe).size()};
+}
+
+// An imposed always-true guard matching the event's arity (passed via the
+// authorizer ctx), so the same authorizer serves the 2- and 8-arg phase
+// attribution cells.
+bool PassingArityAuthorizer(spin::AuthRequest& request, void* ctx) {
+  if (request.op == spin::AuthOp::kInstall) {
+    request.ImposeGuard(spin::MakeImposedMicroGuard(spin::micro::ReturnConst(
+        static_cast<int>(reinterpret_cast<intptr_t>(ctx)), /*value=*/1,
+        /*functional=*/true)));
+  }
+  return true;
+}
+
+// Where does a remote roundtrip spend its time? Trace a batch of sync
+// raises, then fold the kPhase records with obs::CriticalPath into one
+// attribution row: real-clock self-time per phase (marshal, wire,
+// dispatch, unmarshal, guard_eval, handler_body, ...) summed over every
+// raise's span tree, plus the virtual-clock wire transit and the
+// explicit untracked residual. `coverage` is tracked real time over the
+// summed span walls — critical_path_test holds it above 0.95 on this
+// exact path. Payload scales by argument count (9 request bytes each);
+// the scalar wire format has no bulk-payload parameter, so "big" is
+// args8 (72 B encoded), not 4 KB.
+template <typename... Args>
+void PhaseAttributionRow(const char* name, bool with_guard, int rounds,
+                         uint64_t (*handler)(Args...), Args... args) {
+  Rig rig;
+  spin::Module authority{"Bench.PhaseAuthority"};
+  spin::Event<uint64_t(Args...)> server_ev(
+      "Bench.Phases", with_guard ? &authority : nullptr, nullptr,
+      &rig.dispatcher);
+  rig.dispatcher.InstallHandler(server_ev, handler);
+  if (with_guard) {
+    // An imposed always-true guard: adds a guard_eval phase on the
+    // exporter-side dispatch without rejecting anything.
+    rig.dispatcher.InstallAuthorizer(
+        server_ev, &PassingArityAuthorizer,
+        reinterpret_cast<void*>(static_cast<intptr_t>(sizeof...(Args))),
+        authority);
+  }
+  rig.exporter.Export(server_ev);
+  spin::Event<uint64_t(Args...)> client_ev("Bench.Phases", nullptr, nullptr,
+                                           &rig.dispatcher);
+  spin::remote::EventProxy proxy(rig.client, &rig.sim, client_ev,
+                                 rig.Opts(9105));
+
+  client_ev.Raise(args...);  // warmup (exporter map, socket path)
+  spin::obs::FlightRecorder::Global().Reset();
+  rig.dispatcher.EnableTracing(true);
+  {
+    spin::obs::HostScope on_client(rig.client.trace_host_id());
+    for (int i = 0; i < rounds; ++i) {
+      client_ev.Raise(args...);
+    }
+  }
+  rig.dispatcher.EnableTracing(false);
+
+  spin::obs::TraceQuery query(spin::obs::FlightRecorder::Global().Snapshot());
+  spin::obs::CriticalPath paths(query);
+  uint64_t wall = 0;
+  uint64_t tracked = 0;
+  uint64_t self[spin::obs::kNumPhases] = {};
+  uint64_t virt[spin::obs::kNumPhases] = {};
+  for (uint64_t root : paths.Roots()) {
+    spin::obs::CriticalPath::PhaseBreakdown b = paths.Attribute(root);
+    wall += b.wall_ns;
+    tracked += b.tracked_ns;
+    for (size_t p = 0; p < spin::obs::kNumPhases; ++p) {
+      self[p] += b.self_ns[p];
+      virt[p] += b.virtual_ns[p];
+    }
+  }
+  std::printf("{\"bench\":\"remote_phases\",\"case\":\"%s\","
+              "\"roundtrips\":%d,\"wall_ns\":%llu,\"tracked_ns\":%llu,"
+              "\"residual_ns\":%llu,\"coverage\":%.4f",
+              name, rounds, static_cast<unsigned long long>(wall),
+              static_cast<unsigned long long>(tracked),
+              static_cast<unsigned long long>(wall > tracked ? wall - tracked
+                                                             : 0),
+              wall == 0 ? 0.0
+                        : static_cast<double>(tracked) /
+                              static_cast<double>(wall));
+  for (size_t p = 0; p < spin::obs::kNumPhases; ++p) {
+    if (self[p] != 0) {
+      std::printf(",\"%s_ns\":%llu",
+                  spin::obs::PhaseName(static_cast<spin::obs::Phase>(p)),
+                  static_cast<unsigned long long>(self[p]));
+    }
+  }
+  for (size_t p = 0; p < spin::obs::kNumPhases; ++p) {
+    if (virt[p] != 0) {
+      std::printf(",\"%s_virtual_ns\":%llu",
+                  spin::obs::PhaseName(static_cast<spin::obs::Phase>(p)),
+                  static_cast<unsigned long long>(virt[p]));
+    }
+  }
+  std::printf("}\n");
 }
 
 // Sync raises against a wire with seeded random loss: the median stays at
@@ -570,5 +670,19 @@ int main() {
   JsonRow("remote", "sync_rt_tracing_off_host", tr_off.host);
   JsonRow("remote", "sync_rt_tracing_on_host", tr_on.host);
   JsonRow("remote", "async_enqueue", async.enqueue);
+
+  std::printf("\nphase attribution (traced sync roundtrips folded by "
+              "obs::CriticalPath; EXPERIMENTS.md table):\n");
+  const int kPhaseRounds = 64;
+  PhaseAttributionRow<uint64_t, uint64_t>("args2_guard_off", false,
+                                          kPhaseRounds, &Sum2, 1, 2);
+  PhaseAttributionRow<uint64_t, uint64_t>("args2_guard_on", true,
+                                          kPhaseRounds, &Sum2, 1, 2);
+  PhaseAttributionRow<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                      uint64_t, uint64_t, uint64_t>(
+      "args8_guard_off", false, kPhaseRounds, &Sum8, 1, 2, 3, 4, 5, 6, 7, 8);
+  PhaseAttributionRow<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                      uint64_t, uint64_t, uint64_t>(
+      "args8_guard_on", true, kPhaseRounds, &Sum8, 1, 2, 3, 4, 5, 6, 7, 8);
   return 0;
 }

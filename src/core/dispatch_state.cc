@@ -62,7 +62,8 @@ uint64_t Fold(const DispatchTable& table, uint64_t result, uint64_t current,
 void ScheduleAsyncBinding(const DispatchTable& table,
                           const BindingHandle& binding,
                           const RaiseFrame& frame, int num_args,
-                          const obs::TraceContext& span_ctx) {
+                          const obs::TraceContext& span_ctx,
+                          uint64_t enqueue_ns) {
   std::array<uint64_t, kMaxEventArgs> slots{};
   for (int i = 0; i < num_args; ++i) {
     slots[i] = frame.args[i];
@@ -75,7 +76,8 @@ void ScheduleAsyncBinding(const DispatchTable& table,
   uint64_t source = CurrentRaiseSource();
   table.pool->SubmitTo(
       shard,
-      [binding, slots, budget, span_ctx, source, shard]() mutable {
+      [binding, slots, budget, span_ctx, source, shard,
+       enqueue_ns]() mutable {
         RaiseSourceScope raise_source(source);
         // Re-install the enqueue site's sampling decision before anything
         // here can emit, so the handoff stays inside (or outside) the same
@@ -99,11 +101,20 @@ void ScheduleAsyncBinding(const DispatchTable& table,
           obs::FlightRecorder::Global().EmitAt(
               obs::TraceKind::kAsyncExecute, binding->event->obs_name(),
               start);
+          if (enqueue_ns != 0) {
+            // Queue wait: the enqueue site's clock read to this thread's
+            // execution start — the handoff cost the pool added.
+            obs::EmitPhaseSegment(obs::Phase::kQueueWait,
+                                  binding->event->obs_name(), enqueue_ns,
+                                  start);
+          }
         }
         uint64_t deadline =
             binding->ephemeral && budget != 0 ? NowNs() + budget : 0;
         uint64_t result = 0;
         try {
+          obs::PhaseScope body_phase(obs::Phase::kHandlerBody,
+                                     binding->event->obs_name(), tracing);
           RunHandler(*binding, slots.data(), &result, deadline);
         } catch (const DispatchError&) {
           // Detached execution: nobody to report to (§2.6).
@@ -217,11 +228,25 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
   const bool tracing = obs::Capturing();
 
   if (table.stub != nullptr) {
+    // Compiled dispatch fuses guard evaluation and handler bodies into one
+    // routine, so the finest attributable phase is the stub call itself.
+    obs::PhaseScope stub_phase(obs::Phase::kStub, event.obs_name(), tracing);
     table.stub->entry()(&frame);
   } else {
+    // The interp phase's self-time is the dispatch loop overhead proper:
+    // guard evaluation and handler bodies subtract themselves out through
+    // the PhaseScope nesting chain.
+    obs::PhaseScope interp_phase(obs::Phase::kInterp, event.obs_name(),
+                                 tracing);
     for (size_t i = 0; i < table.sync_bindings.size(); ++i) {
       const BindingHandle& binding = table.sync_bindings[i];
-      if (!EvalGuards(*binding, frame.args)) {
+      bool admitted;
+      {
+        obs::PhaseScope guard_phase(obs::Phase::kGuardEval, event.obs_name(),
+                                    tracing);
+        admitted = EvalGuards(*binding, frame.args);
+      }
+      if (!admitted) {
         if (tracing) {
           obs::FlightRecorder::Global().Emit(obs::TraceKind::kGuardReject,
                                              event.obs_name(), i);
@@ -232,7 +257,13 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
                               ? NowNs() + table.ephemeral_budget_ns
                               : 0;
       uint64_t result = 0;
-      if (!RunHandler(*binding, frame.args, &result, deadline)) {
+      bool completed;
+      {
+        obs::PhaseScope body_phase(obs::Phase::kHandlerBody, event.obs_name(),
+                                   tracing);
+        completed = RunHandler(*binding, frame.args, &result, deadline);
+      }
+      if (!completed) {
         ++frame.aborted;
         continue;
       }
@@ -256,7 +287,13 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
 
   for (size_t i = 0; i < table.async_bindings.size(); ++i) {
     const BindingHandle& binding = table.async_bindings[i];
-    if (!EvalGuards(*binding, frame.args)) {
+    bool admitted;
+    {
+      obs::PhaseScope guard_phase(obs::Phase::kGuardEval, event.obs_name(),
+                                  tracing);
+      admitted = EvalGuards(*binding, frame.args);
+    }
+    if (!admitted) {
       if (tracing) {
         obs::FlightRecorder::Global().Emit(obs::TraceKind::kGuardReject,
                                            event.obs_name(),
@@ -265,21 +302,24 @@ void ExecuteTable(EventBase& event, const DispatchTable& table,
       continue;
     }
     obs::TraceContext span_ctx{};
+    uint64_t enqueue_ns = 0;
     if (tracing) {
       // Pre-allocate the handoff's span here so the enqueue record can
       // announce it (the flow start) before the pool thread exists.
       const obs::TraceContext& cur = obs::CurrentContext();
       span_ctx = obs::TraceContext{obs::NewSpanId(), cur.span, cur.host,
                                    obs::SampleDecision::kTrace};
+      enqueue_ns = NowNs();
       obs::FlightRecorder::Global().EmitWith(
-          obs::TraceKind::kAsyncEnqueue, event.obs_name(), NowNs(), i,
+          obs::TraceKind::kAsyncEnqueue, event.obs_name(), enqueue_ns, i,
           span_ctx.span, span_ctx.parent);
     } else if (obs::Enabled()) {
       // This raise was sampled out: hand the skip to the pool thread so it
       // doesn't make a fresh top-level decision mid-tree.
       span_ctx.decision = obs::SampleDecision::kSkip;
     }
-    ScheduleAsyncBinding(table, binding, frame, num_args, span_ctx);
+    ScheduleAsyncBinding(table, binding, frame, num_args, span_ctx,
+                         enqueue_ns);
     ++frame.fired;
   }
 
@@ -379,12 +419,14 @@ void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
     sample.emplace(obs::DecideTopLevel());
   }
   obs::TraceContext span_ctx{};
+  uint64_t enqueue_ns = 0;
   if (obs::Capturing()) {
     const obs::TraceContext& cur = obs::CurrentContext();
     span_ctx = obs::TraceContext{obs::NewSpanId(), cur.span, cur.host,
                                  obs::SampleDecision::kTrace};
+    enqueue_ns = NowNs();
     obs::FlightRecorder::Global().EmitWith(obs::TraceKind::kAsyncEnqueue,
-                                           obs_name_, NowNs(), 0,
+                                           obs_name_, enqueue_ns, 0,
                                            span_ctx.span, span_ctx.parent);
   } else if (obs::Enabled()) {
     span_ctx.decision = obs::SampleDecision::kSkip;
@@ -396,7 +438,7 @@ void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
   uint64_t source = CurrentRaiseSource();
   pool->SubmitTo(
       shard,
-      [this, copy, span_ctx, source]() mutable {
+      [this, copy, span_ctx, source, enqueue_ns]() mutable {
         RaiseSourceScope raise_source(source);
         std::optional<obs::SampleScope> sample;
         if (span_ctx.decision != obs::SampleDecision::kUndecided) {
@@ -405,8 +447,13 @@ void EventBase::RaiseAsyncErased(const RaiseFrame& frame) {
         std::optional<obs::SpanScope> span;
         if (obs::Capturing() && span_ctx.span != 0) {
           span.emplace(span_ctx, /*complete_on_exit=*/true);
-          obs::FlightRecorder::Global().Emit(obs::TraceKind::kAsyncExecute,
-                                             obs_name_);
+          uint64_t exec_ns = NowNs();
+          obs::FlightRecorder::Global().EmitAt(obs::TraceKind::kAsyncExecute,
+                                               obs_name_, exec_ns);
+          if (enqueue_ns != 0) {
+            obs::EmitPhaseSegment(obs::Phase::kQueueWait, obs_name_,
+                                  enqueue_ns, exec_ns);
+          }
         }
         try {
           RaiseErased(copy);

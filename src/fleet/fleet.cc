@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/rt/panic.h"
 
 namespace spin {
@@ -213,7 +214,18 @@ void Fleet::ScheduleSwap(uint64_t at_ns, const std::string& stack,
 }
 
 FleetReport Fleet::Run() {
+  if (options_.trace_sample_rate != 0) {
+    // Fresh capture window: the phase totals below must cover exactly
+    // this run, not whatever the process traced before.
+    obs::FlightRecorder::Global().Reset();
+    obs::ResetPhaseStats();
+    dispatcher_->SetTracing(
+        {obs::TraceMode::kSampled, options_.trace_sample_rate});
+  }
   sim_.Run(options_.duration_ns);
+  if (options_.trace_sample_rate != 0) {
+    dispatcher_->SetTracing({obs::TraceMode::kOff, 1});
+  }
   FleetReport report;
   report.hosts = pairs_.size() * 2;
   report.requests_sent = requests_sent_;
@@ -243,6 +255,14 @@ FleetReport Fleet::Run() {
   obs::HistogramSnapshot merged = latency_->Merged();
   report.latency_p50_ns = merged.Percentile(0.5);
   report.latency_p99_ns = merged.Percentile(0.99);
+  if (options_.trace_sample_rate != 0) {
+    report.traced = true;
+    for (const obs::PhaseStats& stats : obs::SnapshotPhaseStats()) {
+      for (size_t p = 0; p < obs::kNumPhases; ++p) {
+        report.phase_self_ns[p] += stats.phases[p].sum;
+      }
+    }
+  }
   return report;
 }
 
@@ -306,8 +326,26 @@ std::string ReportJson(const FleetOptions& options,
      << ", \"frames_offered\": " << report.frames_offered
      << ", \"swaps_granted\": " << report.swaps_granted
      << ", \"swaps_denied\": " << report.swaps_denied
-     << ", \"streams_intact\": " << (report.streams_intact ? "true" : "false")
-     << "}";
+     << ", \"streams_intact\": " << (report.streams_intact ? "true" : "false");
+  if (report.traced) {
+    // Machine-dependent, so emitted only for traced runs — the smoke
+    // rows the CI gate compares byte-for-byte never carry this object.
+    // "traced" also keys the row apart from its untraced twin in
+    // tools/bench_diff.py.
+    os << ", \"traced\": true, \"phase_self_ns\": {";
+    bool first = true;
+    for (size_t p = 0; p < obs::kNumPhases; ++p) {
+      if (report.phase_self_ns[p] == 0) {
+        continue;
+      }
+      os << (first ? "" : ", ") << "\""
+         << obs::PhaseName(static_cast<obs::Phase>(p))
+         << "\": " << report.phase_self_ns[p];
+      first = false;
+    }
+    os << "}";
+  }
+  os << "}";
   return os.str();
 }
 

@@ -56,6 +56,12 @@ struct FleetOptions {
   // Non-empty: attach a StackAuthorizer with this allow-list to every
   // host's stack events (must include `stack` or nothing binds).
   std::vector<std::string> allowed_stacks;
+  // Nonzero: run with sampled tracing at 1-in-this rate and report the
+  // fleet's phase-level self-time totals (FleetReport::phase_self_ns).
+  // Resets the global flight recorder and phase stats, so only one traced
+  // fleet should run at a time. 0 keeps tracing off and the report free
+  // of machine-dependent fields — CI smoke rows stay deterministic.
+  uint32_t trace_sample_rate = 0;
 };
 
 struct FleetReport {
@@ -77,6 +83,11 @@ struct FleetReport {
   // Every delivered byte matched its position-derived pattern on every
   // connection (no drops, no reordering, including across hot-swaps).
   bool streams_intact = true;
+  // trace_sample_rate != 0 only: host-clock self-time per phase summed
+  // over every sampled raise the fleet dispatched (guard_eval,
+  // handler_body, interp, queue_wait, ...), from SnapshotPhaseStats.
+  bool traced = false;
+  uint64_t phase_self_ns[obs::kNumPhases] = {};
 };
 
 class Fleet {

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
+#include "src/rt/clock.h"
 
 namespace spin {
 namespace obs {
@@ -85,6 +87,68 @@ SpanScope::~SpanScope() {
     g_spans_completed.fetch_add(1, std::memory_order_relaxed);
   }
   t_context = saved_;
+}
+
+namespace {
+// Innermost live PhaseScope on this thread: the nesting chain that makes
+// self-times partition (a child's wall time is charged to exactly one
+// parent, whichever scope encloses it on this thread).
+thread_local PhaseScope* t_phase_top = nullptr;
+}  // namespace
+
+PhaseScope::PhaseScope(Phase phase, const char* name)
+    : name_(name), phase_(phase) {
+  if (!Capturing()) {
+    return;
+  }
+  Enter();
+}
+
+PhaseScope::PhaseScope(Phase phase, const char* name, bool active)
+    : name_(name), phase_(phase) {
+  if (!active) {
+    return;
+  }
+  Enter();
+}
+
+void PhaseScope::Enter() {
+  active_ = true;
+  start_ns_ = NowNs();
+  parent_ = t_phase_top;
+  t_phase_top = this;
+}
+
+PhaseScope::~PhaseScope() {
+  if (!active_) {
+    return;
+  }
+  uint64_t end = NowNs();
+  uint64_t dur = end > start_ns_ ? end - start_ns_ : 0;
+  uint64_t self = dur > child_ns_ ? dur - child_ns_ : 0;
+  if (parent_ != nullptr) {
+    parent_->child_ns_ += dur;
+  }
+  t_phase_top = parent_;
+  FlightRecorder::Global().EmitPhase(name_, phase_, start_ns_, end, self);
+}
+
+void EmitVirtualPhase(Phase phase, const char* name, uint64_t virtual_ns) {
+  if (!Capturing()) {
+    return;
+  }
+  // t_start on the host clock keeps the record sorted near its siblings in
+  // the merged timeline; end_ns == 0 marks the extent as virtual.
+  FlightRecorder::Global().EmitPhase(name, phase, NowNs(), 0, virtual_ns);
+}
+
+void EmitPhaseSegment(Phase phase, const char* name, uint64_t t_start,
+                      uint64_t t_end) {
+  if (!Capturing()) {
+    return;
+  }
+  uint64_t dur = t_end > t_start ? t_end - t_start : 0;
+  FlightRecorder::Global().EmitPhase(name, phase, t_start, t_end, dur);
 }
 
 HostScope::HostScope(uint32_t host) : saved_(t_context.host) {

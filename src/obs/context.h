@@ -106,6 +106,58 @@ class SpanScope {
   bool complete_ = false;
 };
 
+// RAII phase segment (DESIGN.md §15). Times one stage of a raise on the
+// host clock and, on exit, stamps a kPhase record carrying {phase,
+// t_start, t_end, self_ns} into the flight recorder plus the
+// spin_phase_ns{event,phase} histogram. Scopes nest through a thread-local
+// parent chain: a child's wall time is subtracted from its enclosing
+// scope's self-time, so summing self_ns over any set of nested scopes
+// never double-counts — even when the nesting crosses span boundaries
+// (an exporter dispatch pumped inside a proxy's wire wait, a child raise
+// inside a handler body).
+//
+// Cost: when the thread is capturing, the constructor is one clock read
+// plus two thread-local stores; when sampled out (or the caller passes
+// active=false), it is a single branch and no clock read — the sampled-out
+// raise stays unchanged.
+class PhaseScope {
+ public:
+  // `name` must be interned (it is stored in trace records). Checks
+  // Capturing() itself.
+  PhaseScope(Phase phase, const char* name);
+  // Caller-supplied gate, for sites that already computed their tracing
+  // decision once per dispatch: active=false skips the Capturing() check
+  // and the clock read entirely.
+  PhaseScope(Phase phase, const char* name, bool active);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  void Enter();
+
+  PhaseScope* parent_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t child_ns_ = 0;  // wall time of directly nested scopes
+  Phase phase_ = Phase::kGuardEval;
+  bool active_ = false;
+};
+
+// Stamps a virtual-clock phase (kWireVirtual, kBackoff): a kPhase record
+// whose self-time is `virtual_ns` on the simulator clock and whose
+// host-clock extent is empty (end_ns == 0). Does not participate in the
+// PhaseScope nesting chain — virtual durations are reported alongside the
+// real-time budget, never subtracted from it. No-op unless Capturing().
+void EmitVirtualPhase(Phase phase, const char* name, uint64_t virtual_ns);
+
+// Stamps an already-measured real-time segment whose endpoints were
+// captured on different threads (async queue wait: enqueue timestamp on
+// the raising thread, execute timestamp on the pool thread). Participates
+// in the nesting chain as a leaf via self_ns only. No-op unless Capturing().
+void EmitPhaseSegment(Phase phase, const char* name, uint64_t t_start,
+                      uint64_t t_end);
+
 // RAII simulated-host identity for records emitted on this thread. Leaves
 // the active span untouched.
 class HostScope {

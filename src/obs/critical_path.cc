@@ -1,0 +1,194 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+namespace spin {
+namespace obs {
+
+CriticalPath::CriticalPath(const TraceQuery& query) {
+  for (const MergedRecord& m : query.records()) {
+    const TraceRecord& rec = m.rec;
+    if (rec.span == 0) {
+      continue;
+    }
+    SpanInfo& info = spans_[rec.span];
+    info.span = rec.span;
+    if (info.parent == 0 && rec.parent != 0) {
+      info.parent = rec.parent;
+    }
+    info.begin = std::min(info.begin, rec.ts_ns);
+    info.end = std::max(info.end, rec.ts_ns);
+    if (rec.kind == TraceKind::kPhase) {
+      size_t p = static_cast<size_t>(PhaseOfArg(rec.arg));
+      if (p < kNumPhases) {
+        if (rec.end_ns != 0) {
+          info.self[p] += PhaseSelfNs(rec.arg);
+          info.end = std::max(info.end, rec.end_ns);
+        } else {
+          info.virt[p] += PhaseSelfNs(rec.arg);
+        }
+      }
+    } else if (rec.kind == TraceKind::kRaiseBegin || info.name == nullptr) {
+      // Prefer the raise's own name; fall back to the first named record
+      // (a wire span has no kRaiseBegin of its own).
+      info.name = rec.name;
+    }
+  }
+  for (auto& [span, info] : spans_) {
+    if (info.parent != 0 && spans_.count(info.parent) != 0) {
+      spans_[info.parent].children.push_back(span);
+    } else {
+      roots_.push_back(span);
+    }
+  }
+}
+
+const CriticalPath::SpanInfo* CriticalPath::Find(uint64_t span) const {
+  auto it = spans_.find(span);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+std::vector<uint64_t> CriticalPath::Roots() const { return roots_; }
+
+CriticalPath::PhaseBreakdown CriticalPath::Attribute(uint64_t root) const {
+  PhaseBreakdown out;
+  const SpanInfo* top = Find(root);
+  if (top == nullptr) {
+    return out;
+  }
+  out.wall_ns = Wall(*top);
+  std::vector<uint64_t> stack{root};
+  while (!stack.empty()) {
+    const SpanInfo* info = Find(stack.back());
+    stack.pop_back();
+    if (info == nullptr) {
+      continue;
+    }
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      out.self_ns[p] += info->self[p];
+      out.virtual_ns[p] += info->virt[p];
+      out.tracked_ns += info->self[p];
+    }
+    stack.insert(stack.end(), info->children.begin(), info->children.end());
+  }
+  out.residual_ns =
+      out.wall_ns > out.tracked_ns ? out.wall_ns - out.tracked_ns : 0;
+  if (out.wall_ns != 0) {
+    out.coverage = static_cast<double>(out.tracked_ns) /
+                   static_cast<double>(out.wall_ns);
+  }
+  return out;
+}
+
+std::vector<CriticalPath::CriticalStep> CriticalPath::LongestPath(
+    uint64_t root) const {
+  std::vector<CriticalStep> path;
+  const SpanInfo* info = Find(root);
+  while (info != nullptr) {
+    CriticalStep step;
+    step.span = info->span;
+    step.name = info->name != nullptr ? info->name : "?";
+    step.wall_ns = Wall(*info);
+    uint64_t children_wall = 0;
+    const SpanInfo* widest = nullptr;
+    for (uint64_t child : info->children) {
+      const SpanInfo* c = Find(child);
+      if (c == nullptr) {
+        continue;
+      }
+      children_wall += Wall(*c);
+      if (widest == nullptr || Wall(*c) > Wall(*widest)) {
+        widest = c;
+      }
+    }
+    // Concurrent children (async fan-out) can overlap the parent; clamp
+    // rather than let self underflow.
+    step.self_ns =
+        step.wall_ns > children_wall ? step.wall_ns - children_wall : 0;
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      if (info->self[p] > step.dominant_ns) {
+        step.dominant_ns = info->self[p];
+        step.dominant = static_cast<Phase>(p);
+      }
+    }
+    path.push_back(step);
+    info = widest;
+  }
+  return path;
+}
+
+std::vector<CriticalPath::EventPhases> CriticalPath::AggregateByEvent()
+    const {
+  std::vector<EventPhases> out;
+  for (const auto& [span, info] : spans_) {
+    const char* event = info.name != nullptr ? info.name : "?";
+    EventPhases* agg = nullptr;
+    for (EventPhases& e : out) {
+      if (e.event == event) {
+        agg = &e;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      out.emplace_back();
+      agg = &out.back();
+      agg->event = event;
+    }
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      agg->self_ns[p] += info.self[p];
+      agg->virtual_ns[p] += info.virt[p];
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventPhases& a, const EventPhases& b) {
+              return std::string_view(a.event) < std::string_view(b.event);
+            });
+  return out;
+}
+
+void CriticalPath::FoldSpan(std::ostream& os, const SpanInfo& info,
+                            std::string& path) const {
+  size_t saved = path.size();
+  if (!path.empty()) {
+    path += ";";
+  }
+  path += info.name != nullptr ? info.name : "?";
+
+  uint64_t accounted = 0;
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    if (info.self[p] != 0) {
+      os << path << ";" << PhaseName(static_cast<Phase>(p)) << " "
+         << info.self[p] << "\n";
+      accounted += info.self[p];
+    }
+  }
+  uint64_t children_wall = 0;
+  for (uint64_t child : info.children) {
+    const SpanInfo* c = Find(child);
+    if (c != nullptr) {
+      children_wall += Wall(*c);
+      FoldSpan(os, *c, path);
+    }
+  }
+  uint64_t wall = Wall(info);
+  uint64_t tracked = accounted + children_wall;
+  if (wall > tracked) {
+    os << path << ";(untracked) " << wall - tracked << "\n";
+  }
+  path.resize(saved);
+}
+
+void CriticalPath::WriteFolded(std::ostream& os) const {
+  std::string path;
+  for (uint64_t root : roots_) {
+    const SpanInfo* info = Find(root);
+    if (info != nullptr) {
+      FoldSpan(os, *info, path);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace spin

@@ -1,0 +1,110 @@
+// Critical-path analysis over a span tree (DESIGN.md §15).
+//
+// Built on TraceQuery: where TraceQuery answers "what records did this
+// raise cause", CriticalPath answers "where did its time go". It folds the
+// kPhase segments PhaseScope stamped into per-span self-time by phase,
+// walks span trees — including cross-host edges, since a wire-carried span
+// keeps one id on both sides of the trailer — and offers three views:
+//
+//   Attribute(root)    — phase totals for the whole tree, with the wall
+//                        duration, the tracked fraction, and an explicit
+//                        untracked residual (never silently absorbed).
+//   LongestPath(root)  — the chain of spans that bounds the raise's
+//                        latency: at each level, the child whose wall
+//                        extent is largest, annotated with its dominant
+//                        phase.
+//   AggregateByEvent() — fleet-wide phase self-time per event name, the
+//                        input for "which phase must batching shrink".
+//
+// Two clocks, kept apart: real-time phases partition a span's host-clock
+// wall duration (self-times plus residual sum to it); virtual phases
+// (wire_virtual, backoff) are simulator-clock durations reported in their
+// own column and never subtracted from the real-time budget.
+#ifndef SRC_OBS_CRITICAL_PATH_H_
+#define SRC_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "src/obs/obs.h"
+#include "src/obs/query.h"
+
+namespace spin {
+namespace obs {
+
+class CriticalPath {
+ public:
+  explicit CriticalPath(const TraceQuery& query);
+
+  struct PhaseBreakdown {
+    uint64_t wall_ns = 0;      // root span extent on the host clock
+    uint64_t tracked_ns = 0;   // sum of real-time phase self-times, tree-wide
+    uint64_t residual_ns = 0;  // wall - tracked, clamped at 0
+    double coverage = 0.0;     // tracked / wall (0 when wall is 0)
+    uint64_t self_ns[kNumPhases] = {};     // real self-time per phase
+    uint64_t virtual_ns[kNumPhases] = {};  // simulator-clock durations
+  };
+  // Phase totals over `root` and every descendant span. Unknown root
+  // returns an all-zero breakdown.
+  PhaseBreakdown Attribute(uint64_t root) const;
+
+  struct CriticalStep {
+    uint64_t span = 0;
+    const char* name = nullptr;  // interned event name ("?" if unnamed)
+    uint64_t wall_ns = 0;        // this span's extent
+    uint64_t self_ns = 0;        // wall minus children's wall, clamped
+    Phase dominant = Phase::kGuardEval;  // largest real self-time phase
+    uint64_t dominant_ns = 0;            // its self-time (0 = no phases)
+  };
+  // The longest dependency chain: from `root`, repeatedly descend into the
+  // child span with the largest wall extent. Front is the root.
+  std::vector<CriticalStep> LongestPath(uint64_t root) const;
+
+  struct EventPhases {
+    const char* event = nullptr;
+    uint64_t self_ns[kNumPhases] = {};
+    uint64_t virtual_ns[kNumPhases] = {};
+  };
+  // Real and virtual phase self-time summed per event name over every span
+  // in the snapshot, sorted by name.
+  std::vector<EventPhases> AggregateByEvent() const;
+
+  // Root spans (parent 0 or unknown), ascending.
+  std::vector<uint64_t> Roots() const;
+
+  // Flamegraph-compatible folded stacks, one line per (span path, phase):
+  //   Client.Op;Remote.Op;wire 1234
+  // plus an `(untracked)` leaf per span for the wall time neither its own
+  // phases nor its children account for. Real-time phases only — virtual
+  // durations don't belong on a host-clock flamegraph.
+  void WriteFolded(std::ostream& os) const;
+
+ private:
+  struct SpanInfo {
+    uint64_t span = 0;
+    uint64_t parent = 0;
+    uint64_t begin = ~0ull;  // min record timestamp
+    uint64_t end = 0;        // max of record timestamps and phase ends
+    const char* name = nullptr;
+    uint64_t self[kNumPhases] = {};
+    uint64_t virt[kNumPhases] = {};
+    std::vector<uint64_t> children;
+  };
+
+  const SpanInfo* Find(uint64_t span) const;
+  uint64_t Wall(const SpanInfo& info) const {
+    return info.end > info.begin ? info.end - info.begin : 0;
+  }
+  void FoldSpan(std::ostream& os, const SpanInfo& info,
+                std::string& path) const;
+
+  std::map<uint64_t, SpanInfo> spans_;
+  std::vector<uint64_t> roots_;
+};
+
+}  // namespace obs
+}  // namespace spin
+
+#endif  // SRC_OBS_CRITICAL_PATH_H_

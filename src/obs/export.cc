@@ -66,7 +66,15 @@ constexpr Family kFamilies[] = {
     {"spin_trace_orphan_records_total", "counter",
      "Records emitted with no active span."},
     {"spin_anomalies_total", "counter",
-     "Watchdog-detected anomalies by kind and shard."},
+     "Watchdog-detected anomalies by kind and shard; the event label "
+     "names the offending event where the rule knows it (empty for "
+     "queue/epoch/ring rules)."},
+    {"spin_phase_ns", "summary",
+     "Dispatch phase self-time in nanoseconds per (event, phase); "
+     "virtual-clock phases (wire_virtual, backoff) are simulator-clock "
+     "durations."},
+    {"spin_phase_ns_max", "gauge",
+     "Largest phase self-time observed per (event, phase)."},
     {"spin_dispatcher_installs_total", "counter", "Handler installs."},
     {"spin_dispatcher_uninstalls_total", "counter", "Handler uninstalls."},
     {"spin_dispatcher_rebuilds_total", "counter",
@@ -311,6 +319,40 @@ void ExportMetrics(std::ostream& os) {
     }
   }
 
+  // Per-(event, phase) self-time summaries from the PhaseScope registry.
+  for (const PhaseStats& stats : SnapshotPhaseStats()) {
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      const HistogramSnapshot& snap = stats.phases[p];
+      if (snap.count == 0) {
+        continue;
+      }
+      const char* phase = PhaseName(static_cast<Phase>(p));
+      auto labels = [&](std::ostream& o) {
+        o << "{event=\"";
+        WriteLabelValue(o, stats.event);
+        o << "\",phase=\"" << phase << "\"";
+      };
+      const struct {
+        const char* q;
+        double v;
+      } quantiles[] = {{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+      for (const auto& q : quantiles) {
+        os << "spin_phase_ns";
+        labels(os);
+        os << ",quantile=\"" << q.q << "\"} " << snap.Percentile(q.v) << "\n";
+      }
+      os << "spin_phase_ns_count";
+      labels(os);
+      os << "} " << snap.count << "\n";
+      os << "spin_phase_ns_sum";
+      labels(os);
+      os << "} " << snap.sum << "\n";
+      os << "spin_phase_ns_max";
+      labels(os);
+      os << "} " << snap.max << "\n";
+    }
+  }
+
   // Flight-recorder health and span accounting. Overwrites flag a
   // truncated capture window; the per-thread breakdown shows *which* ring
   // is dropping (one hot thread can silently lose its half of every trace
@@ -383,7 +425,10 @@ StatsSnapshot CaptureStats() {
       continue;
     }
     std::string series = line.substr(0, space);
-    if (series.rfind("spin_event_raise_ns", 0) == 0) {
+    if (series.rfind("spin_event_raise_ns", 0) == 0 ||
+        series.rfind("spin_phase_ns", 0) == 0) {
+      // Summaries with structured counterparts: event histograms live in
+      // snap.events; phase histograms come from SnapshotPhaseStats().
       continue;
     }
     SeriesSample sample;

@@ -68,6 +68,120 @@ const char* DispatchKindName(DispatchKind kind) {
   return "unknown";
 }
 
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kGuardEval:
+      return "guard_eval";
+    case Phase::kHandlerBody:
+      return "handler_body";
+    case Phase::kStub:
+      return "stub";
+    case Phase::kInterp:
+      return "interp";
+    case Phase::kQueueWait:
+      return "queue_wait";
+    case Phase::kMarshal:
+      return "marshal";
+    case Phase::kWire:
+      return "wire";
+    case Phase::kDispatch:
+      return "dispatch";
+    case Phase::kUnmarshal:
+      return "unmarshal";
+    case Phase::kWireVirtual:
+      return "wire_virtual";
+    case Phase::kBackoff:
+      return "backoff";
+  }
+  return "unknown";
+}
+
+// --- Phase stats registry -------------------------------------------------
+//
+// Append-only singly linked list of per-event entries. Lookups walk the
+// list lock-free (entries are published with release stores and never
+// removed); insertion takes a spinlock so an event name appears exactly
+// once. A thread-local memo makes the steady-state cost of RecordPhase one
+// pointer compare plus the histogram increment.
+
+namespace {
+
+struct PhaseEntry {
+  const char* name;  // interned
+  Histogram hist[kNumPhases];
+  PhaseEntry* next;
+};
+
+std::atomic<PhaseEntry*> g_phase_head{nullptr};
+std::atomic_flag g_phase_insert_lock = ATOMIC_FLAG_INIT;
+
+PhaseEntry* FindOrInsertPhaseEntry(const char* event) {
+  for (PhaseEntry* e = g_phase_head.load(std::memory_order_acquire);
+       e != nullptr; e = e->next) {
+    if (e->name == event) {
+      return e;
+    }
+  }
+  while (g_phase_insert_lock.test_and_set(std::memory_order_acquire)) {
+  }
+  // Re-check under the lock: another thread may have inserted it.
+  PhaseEntry* head = g_phase_head.load(std::memory_order_relaxed);
+  for (PhaseEntry* e = head; e != nullptr; e = e->next) {
+    if (e->name == event) {
+      g_phase_insert_lock.clear(std::memory_order_release);
+      return e;
+    }
+  }
+  auto* fresh = new PhaseEntry();  // intentionally leaked, like Intern()
+  fresh->name = event;
+  fresh->next = head;
+  g_phase_head.store(fresh, std::memory_order_release);
+  g_phase_insert_lock.clear(std::memory_order_release);
+  return fresh;
+}
+
+}  // namespace
+
+void RecordPhase(const char* event, Phase phase, uint64_t ns) {
+  thread_local PhaseEntry* t_last = nullptr;
+  PhaseEntry* e = t_last;
+  if (e == nullptr || e->name != event) {
+    e = FindOrInsertPhaseEntry(event);
+    t_last = e;
+  }
+  e->hist[static_cast<size_t>(phase)].Record(ns);
+}
+
+std::vector<PhaseStats> SnapshotPhaseStats() {
+  std::vector<PhaseStats> out;
+  for (PhaseEntry* e = g_phase_head.load(std::memory_order_acquire);
+       e != nullptr; e = e->next) {
+    PhaseStats stats;
+    stats.event = e->name;
+    bool any = false;
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      stats.phases[p] = e->hist[p].Snapshot();
+      any = any || stats.phases[p].count > 0;
+    }
+    if (any) {
+      out.push_back(std::move(stats));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const PhaseStats& a, const PhaseStats& b) {
+    return std::string_view(a.event) < std::string_view(b.event);
+  });
+  return out;
+}
+
+void ResetPhaseStats() {
+  for (PhaseEntry* e = g_phase_head.load(std::memory_order_acquire);
+       e != nullptr; e = e->next) {
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      e->hist[p].Reset();
+    }
+  }
+}
+
 // --- HistogramSnapshot ---------------------------------------------------
 
 uint64_t HistogramSnapshot::Percentile(double q) const {

@@ -103,6 +103,39 @@ class EnableScope {
 // copies and records outlive the objects that emitted them.
 const char* Intern(std::string_view s);
 
+// --- Phase attribution ----------------------------------------------------
+//
+// A dispatch phase: one stage of a raise's life that a PhaseScope
+// (context.h) times and stamps into the trace ring as a kPhase record.
+// Real-time phases are measured on the host clock and partition a span's
+// wall time (their self-times plus an explicit residual sum to the span
+// duration); virtual phases (kWireVirtual, kBackoff) are measured on the
+// simulator clock — wire transit has no meaningful host-clock extent
+// because the simulated network advances time discontinuously — and are
+// reported alongside, never subtracted from, the real-time budget
+// (DESIGN.md §15).
+enum class Phase : uint8_t {
+  kGuardEval = 0,  // guard evaluation (interpreted sync/async admission)
+  kHandlerBody,    // handler body (interpreted sync loop, async pool body)
+  kStub,           // compiled dispatch routine (guards + handlers fused)
+  kInterp,         // interpreted dispatch loop (self-time around guards/bodies)
+  kQueueWait,      // async enqueue -> pool execution start
+  kMarshal,        // request build + wire encode (proxy side)
+  kWire,           // proxy pumping the simulated wire for a reply (real time)
+  kDispatch,       // exporter-side dispatch + reply encode
+  kUnmarshal,      // reply decode + by-ref copy-out (proxy side)
+  kWireVirtual,    // send -> reply on the simulator clock (virtual ns)
+  kBackoff,        // retry backoff share of the virtual wait (virtual ns)
+};
+constexpr size_t kNumPhases = 11;
+const char* PhaseName(Phase phase);
+
+// Process-wide per-(event, phase) latency histograms, fed by PhaseScope on
+// the sampled path and exported as spin_phase_ns{event,phase}. The registry
+// is an append-only lock-free list keyed by interned event name; the hit
+// path is one thread-local memo compare plus a Histogram::Record.
+void RecordPhase(const char* event, Phase phase, uint64_t ns);
+
 // How a raise was (or would be, see DispatchTable::obs_kind) dispatched.
 enum class DispatchKind : uint8_t {
   kDirect = 0,  // intrinsic-bypass direct call
@@ -186,6 +219,17 @@ class Histogram {
 
   Stripe stripes_[kStripes];
 };
+
+// Snapshot view of the phase registry (declared after Histogram because it
+// carries HistogramSnapshots; the registry itself is described above).
+struct PhaseStats {
+  const char* event = nullptr;  // interned
+  HistogramSnapshot phases[kNumPhases];
+};
+// One entry per event that recorded at least one phase, sorted by name.
+std::vector<PhaseStats> SnapshotPhaseStats();
+// Zeroes every histogram (entries stay registered). For benches and tests.
+void ResetPhaseStats();
 
 // --- Per-event metrics ---------------------------------------------------
 

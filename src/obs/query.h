@@ -44,6 +44,10 @@ class TraceQuery {
   // Records stamped with span 0 — emitted outside any span.
   size_t orphan_records() const { return orphans_; }
 
+  // The full indexed timeline, ordered by (ts, tid). CriticalPath builds
+  // its per-span phase accounting from this.
+  const std::vector<MergedRecord>& records() const { return records_; }
+
  private:
   void Collect(uint64_t span, std::vector<MergedRecord>* out) const;
 

@@ -100,13 +100,15 @@ const char* TraceKindName(TraceKind kind) {
       return "remote_dispatch";
     case TraceKind::kAnomaly:
       return "anomaly";
+    case TraceKind::kPhase:
+      return "phase";
   }
   return "unknown";
 }
 
 // A new TraceKind must bump kNumTraceKinds (and the unit test then insists
 // TraceKindName knows it).
-static_assert(static_cast<size_t>(TraceKind::kAnomaly) + 1 == kNumTraceKinds,
+static_assert(static_cast<size_t>(TraceKind::kPhase) + 1 == kNumTraceKinds,
               "kNumTraceKinds must track the TraceKind enum");
 
 FlightRecorder& FlightRecorder::Global() {
@@ -176,9 +178,42 @@ void FlightRecorder::EmitWith(TraceKind kind, const char* name,
   slot.arg = arg;
   slot.span = span;
   slot.parent = parent;
+  slot.end_ns = 0;  // slots are reused; only kPhase (EmitPhase) sets this
   slot.host = CurrentContext().host;
   slot.kind = kind;
   ring->head.store(h + 1, std::memory_order_release);
+}
+
+void FlightRecorder::EmitPhase(const char* name, Phase phase, uint64_t t_start,
+                               uint64_t t_end, uint64_t self_ns) {
+  if (!Enabled()) {
+    return;
+  }
+  const TraceContext& ctx = CurrentContext();
+  if (ctx.decision == SampleDecision::kSkip) {
+    return;
+  }
+  if (ctx.span == 0) {
+    internal::CountOrphanRecord();
+  }
+  Ring* ring = ThreadRing();
+  uint64_t h = ring->head.load(std::memory_order_relaxed);
+  if (h >= ring->slots.size()) {
+    ring->overwrites.store(
+        ring->overwrites.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
+  TraceRecord& slot = ring->slots[h & ring->mask];
+  slot.ts_ns = t_start;
+  slot.name = name;
+  slot.arg = PackPhaseArg(phase, self_ns);
+  slot.span = ctx.span;
+  slot.parent = ctx.parent;
+  slot.end_ns = t_end;
+  slot.host = ctx.host;
+  slot.kind = TraceKind::kPhase;
+  ring->head.store(h + 1, std::memory_order_release);
+  RecordPhase(name, phase, self_ns);
 }
 
 std::vector<MergedRecord> FlightRecorder::Snapshot() const {
@@ -305,6 +340,36 @@ void WriteChromeTrace(std::ostream& os,
   for (const MergedRecord& m : records) {
     sep();
     const char* name = m.rec.name != nullptr ? m.rec.name : "?";
+    if (m.rec.kind == TraceKind::kPhase) {
+      // Phase segments render as slices nested under their span's B/E pair
+      // (same pid/tid, contained timestamps). Virtual-clock phases have no
+      // host-clock extent; they stay instants carrying the simulator-clock
+      // duration in args.
+      Phase phase = PhaseOfArg(m.rec.arg);
+      os << "{\"name\":\"" << PhaseName(phase) << "\",\"cat\":\"phase\"";
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(m.rec.ts_ns) / 1e3);
+      if (m.rec.end_ns != 0) {
+        char durbuf[64];
+        uint64_t dur =
+            m.rec.end_ns > m.rec.ts_ns ? m.rec.end_ns - m.rec.ts_ns : 0;
+        std::snprintf(durbuf, sizeof(durbuf), "%.3f",
+                      static_cast<double>(dur) / 1e3);
+        os << ",\"ph\":\"X\",\"ts\":" << buf << ",\"dur\":" << durbuf;
+      } else {
+        os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << buf;
+      }
+      os << ",\"pid\":" << m.rec.host << ",\"tid\":" << m.tid
+         << ",\"args\":{\"event\":\"";
+      JsonEscape(os, name);
+      os << "\",\"self_ns\":" << PhaseSelfNs(m.rec.arg)
+         << ",\"virtual\":" << (m.rec.end_ns == 0 ? "true" : "false");
+      if (m.rec.span != 0) {
+        os << ",\"span\":" << m.rec.span << ",\"parent\":" << m.rec.parent;
+      }
+      os << "}}";
+      continue;
+    }
     os << "{\"name\":\"";
     JsonEscape(os, name);
     os << "\",\"cat\":\"" << TraceKindName(m.rec.kind) << "\"";

@@ -56,14 +56,35 @@ enum class TraceKind : uint8_t {
   kAnomaly,         // watchdog-detected anomaly; name = the offending
                     // source (event/pool/domain), arg = packed
                     // (AnomalyKind << 32) | shard (see src/obs/watchdog.h)
+  kPhase,           // a PhaseScope segment; name = event, ts_ns = t_start,
+                    // end_ns = t_end (0 for virtual-clock phases),
+                    // arg = PackPhaseArg(phase, self_ns)
 };
 
 // Count sentinel for exhaustiveness checks: must equal the number of
 // TraceKind enumerators. trace.cc static_asserts that it tracks the enum;
 // the unit test asserts every kind below it has a real name.
-inline constexpr size_t kNumTraceKinds = 23;
+inline constexpr size_t kNumTraceKinds = 24;
 
 const char* TraceKindName(TraceKind kind);
+
+// kPhase records pack the phase id and the segment's self-time (duration
+// minus time spent in nested PhaseScopes) into `arg`: the phase id in the
+// top byte, self-time ns in the low 56 bits (saturating — 2^56 ns is over
+// two years).
+inline uint64_t PackPhaseArg(Phase phase, uint64_t self_ns) {
+  constexpr uint64_t kSelfMask = (1ull << 56) - 1;
+  if (self_ns > kSelfMask) {
+    self_ns = kSelfMask;
+  }
+  return (static_cast<uint64_t>(phase) << 56) | self_ns;
+}
+inline Phase PhaseOfArg(uint64_t arg) {
+  return static_cast<Phase>(arg >> 56);
+}
+inline uint64_t PhaseSelfNs(uint64_t arg) {
+  return arg & ((1ull << 56) - 1);
+}
 
 struct TraceRecord {
   uint64_t ts_ns = 0;
@@ -71,6 +92,7 @@ struct TraceRecord {
   uint64_t arg = 0;
   uint64_t span = 0;    // causal span the record belongs to (0 = orphan)
   uint64_t parent = 0;  // the span's parent span (0 = root)
+  uint64_t end_ns = 0;  // kPhase: segment end timestamp (0 = virtual phase)
   uint32_t host = 0;    // RegisterTraceHost id (0 = no host context)
   TraceKind kind = TraceKind::kRaiseBegin;
 };
@@ -103,6 +125,15 @@ class FlightRecorder {
   // host stamp still comes from the current context.
   void EmitWith(TraceKind kind, const char* name, uint64_t ts_ns,
                 uint64_t arg, uint64_t span, uint64_t parent);
+
+  // Appends a kPhase record for the current span and feeds the
+  // spin_phase_ns{event,phase} histogram. Real-time segments pass their
+  // host-clock [t_start, t_end]; virtual-clock phases (kWireVirtual,
+  // kBackoff) pass t_end == 0 and carry their simulator-clock duration only
+  // in self_ns. No-op when the recorder is disabled or the thread's
+  // sampling decision is kSkip.
+  void EmitPhase(const char* name, Phase phase, uint64_t t_start,
+                 uint64_t t_end, uint64_t self_ns);
 
   // Merges every thread's ring into one timeline ordered by timestamp
   // (ties broken by thread id). Callers should quiesce emitters first for
@@ -159,7 +190,10 @@ class FlightRecorder {
 
 // Serializes a merged timeline as Chrome trace-event JSON ("traceEvents"
 // array form), loadable in Perfetto. RaiseBegin/RaiseEnd become B/E
-// duration events; everything else becomes a thread-scoped instant event.
+// duration events; kPhase segments become complete ("X") slices nested
+// under their span (virtual phases stay instants, annotated with their
+// simulator-clock duration); everything else becomes a thread-scoped
+// instant event.
 // Each simulated host gets its own process row (pid = host id, named via
 // process_name metadata), and span handoffs are linked with flow events
 // keyed by the span id: kAsyncEnqueue/kRemoteSend start a flow,

@@ -27,6 +27,8 @@ const char* AnomalyKindName(AnomalyKind kind) {
       return "epoch_stall";
     case AnomalyKind::kRetryStorm:
       return "retry_storm";
+    case AnomalyKind::kTraceDrops:
+      return "trace_drops";
   }
   return "unknown";
 }
@@ -161,6 +163,7 @@ void Watchdog::Poll() {
     }
   }
 
+  CheckTraceRings(config);
   RefreshSlowDeadlines();
 
   {
@@ -178,6 +181,46 @@ void Watchdog::Poll() {
     --polls_in_flight_;
   }
   poll_cv_.notify_all();
+}
+
+void Watchdog::CheckTraceRings(const WatchdogConfig& config) {
+  if (config.trace_drop_ratio <= 0) {
+    return;
+  }
+  // The ring name is one interned string; per-ring identity rides in the
+  // shard slot (the recorder's dense thread id), matching the {thread=...}
+  // labelling of spin_trace_overwrites_total.
+  static const char* ring_name = Intern("trace-ring");
+  for (const FlightRecorder::RingStats& ring :
+       FlightRecorder::Global().PerRingStats()) {
+    SampleKey key{ring_name, static_cast<uint8_t>(AnomalyKind::kTraceDrops),
+                  ring.tid};
+    PrevSample prev;
+    bool seen = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = prev_.find(key);
+      if (it != prev_.end()) {
+        prev = it->second;
+        seen = true;
+      }
+      prev_[key] = PrevSample{ring.overwrites, ring.emits};
+    }
+    // Counters shrink only when the recorder was Reset between polls; the
+    // stored baseline is stale then, so this pass just re-baselines.
+    if (!seen || ring.emits < prev.progress ||
+        ring.overwrites < prev.depth) {
+      continue;
+    }
+    uint64_t emitted = ring.emits - prev.progress;
+    uint64_t dropped = ring.overwrites - prev.depth;
+    if (emitted >= std::max<uint64_t>(config.trace_drop_min_emits, 1) &&
+        dropped > 0 &&
+        static_cast<double>(dropped) >=
+            config.trace_drop_ratio * static_cast<double>(emitted)) {
+      Report(AnomalyKind::kTraceDrops, ring_name, ring.tid, dropped);
+    }
+  }
 }
 
 void Watchdog::RefreshSlowDeadlines() {
@@ -206,9 +249,15 @@ void Watchdog::RefreshSlowDeadlines() {
 
 void Watchdog::Report(AnomalyKind kind, const char* name, uint32_t shard,
                       uint64_t value) {
+  // Only the deadline check reports per event (its `name` is the event
+  // that blew the budget); every monitor rule names the watched resource
+  // instead, so its event label stays empty. One static interned "" keeps
+  // the map key a stable pointer identity.
+  static const char* no_event = Intern("");
+  const char* event = kind == AnomalyKind::kSlowHandler ? name : no_event;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++counts_[{static_cast<uint8_t>(kind), shard}];
+    ++counts_[{static_cast<uint8_t>(kind), shard, event}];
     last_value_ = value;
     if (config_.trace_burst && !burst_used_) {
       burst_used_ = true;
@@ -264,15 +313,21 @@ uint64_t Watchdog::last_value() const {
 
 uint64_t Watchdog::Count(AnomalyKind kind, uint32_t shard) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = counts_.find({static_cast<uint8_t>(kind), shard});
-  return it == counts_.end() ? 0 : it->second;
+  uint64_t total = 0;
+  for (const auto& [key, count] : counts_) {
+    if (std::get<0>(key) == static_cast<uint8_t>(kind) &&
+        std::get<1>(key) == shard) {
+      total += count;
+    }
+  }
+  return total;
 }
 
 uint64_t Watchdog::Count(AnomalyKind kind) const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [key, count] : counts_) {
-    if (key.first == static_cast<uint8_t>(kind)) {
+    if (std::get<0>(key) == static_cast<uint8_t>(kind)) {
       total += count;
     }
   }
@@ -297,15 +352,17 @@ void Watchdog::UnregisterProbe(void* ctx) {
 
 void Watchdog::ExportMetricsSource(void* ctx, std::ostream& os) {
   auto* self = static_cast<Watchdog*>(ctx);
-  std::map<std::pair<uint8_t, uint32_t>, uint64_t> counts;
+  std::map<std::tuple<uint8_t, uint32_t, const char*>, uint64_t> counts;
   {
     std::lock_guard<std::mutex> lock(self->mu_);
     counts = self->counts_;
   }
   for (const auto& [key, count] : counts) {
     os << "spin_anomalies_total{kind=\""
-       << AnomalyKindName(static_cast<AnomalyKind>(key.first))
-       << "\",shard=\"" << key.second << "\"} " << count << "\n";
+       << AnomalyKindName(static_cast<AnomalyKind>(std::get<0>(key)))
+       << "\",shard=\"" << std::get<1>(key) << "\",event=\"";
+    WriteLabelValue(os, std::get<2>(key));
+    os << "\"} " << count << "\n";
   }
 }
 

@@ -17,7 +17,7 @@
 //     epoch reclamation is stuck; a retry-counter jump above the limit in
 //     one period is a storm.
 //
-// Every anomaly bumps spin_anomalies_total{kind,shard}, emits a
+// Every anomaly bumps spin_anomalies_total{kind,shard,event}, emits a
 // TraceKind::kAnomaly flight-recorder record (even from inside an
 // unsampled raise — anomalies override the sampling decision), and can
 // latch a one-shot full-fidelity trace burst: the trace config is switched
@@ -56,8 +56,10 @@ enum class AnomalyKind : uint8_t {
   kOutboxBacklog = 2,  // pool queue depth above the configured limit
   kEpochStall = 3,   // retired objects with no reclamation progress
   kRetryStorm = 4,   // remote retry counter jumped above the limit
+  kTraceDrops = 5,   // a flight-recorder ring overwrote >= trace_drop_ratio
+                     // of the records it emitted in one monitor period
 };
-inline constexpr size_t kNumAnomalyKinds = 5;
+inline constexpr size_t kNumAnomalyKinds = 6;
 const char* AnomalyKindName(AnomalyKind kind);
 
 // One monitored quantity, reported by a probe once per monitor period.
@@ -100,6 +102,17 @@ struct WatchdogConfig {
   // kRetryStorm fires when a retry counter advances by this much within
   // one monitor period.
   uint64_t retry_storm = 64;
+  // kTraceDrops fires when, over one monitor period, a flight-recorder
+  // ring's overwrite delta reaches this fraction of its emit delta (the
+  // ring is discarding at least that share of what tracing produces —
+  // grow the ring or lower the sample rate). 0 disables the rule. The
+  // monitor samples FlightRecorder::PerRingStats() directly; no probe
+  // registration is involved.
+  double trace_drop_ratio = 0.25;
+  // The ratio is meaningless on a near-idle ring (one anomaly record
+  // landing in a full ring is 1 overwrite / 1 emit), so the rule needs at
+  // least this many emits on the ring within the period.
+  uint64_t trace_drop_min_emits = 64;
   // Latch a one-shot full-fidelity capture on the first anomaly.
   bool trace_burst = false;
   uint64_t burst_periods = 1;
@@ -135,18 +148,22 @@ class Watchdog {
   void RegisterProbe(void* ctx, WatchProbeFn fn);
   void UnregisterProbe(void* ctx);
 
-  // Records an anomaly: bumps spin_anomalies_total{kind,shard}, emits a
-  // kAnomaly record named `name` with arg = (kind << 32) | shard, and
-  // latches the trace burst if configured. `value` is the measurement
+  // Records an anomaly: bumps spin_anomalies_total{kind,shard,event},
+  // emits a kAnomaly record named `name` with arg = (kind << 32) | shard,
+  // and latches the trace burst if configured. `value` is the measurement
   // that tripped the rule (ns, depth, or counter delta), kept in the
-  // last-anomaly register exposed by last_value().
+  // last-anomaly register exposed by last_value(). The event label is
+  // taken from `name` only for kSlowHandler — the deadline check knows
+  // which event blew its budget; the monitor rules watch queues, domains,
+  // and rings, not events, so their label stays empty.
   void Report(AnomalyKind kind, const char* name, uint32_t shard,
               uint64_t value);
 
   // The `value` of the most recent Report, for diagnostics and tests.
   uint64_t last_value() const;
 
-  // Total anomalies of `kind` on `shard` since process start.
+  // Total anomalies of `kind` on `shard` since process start, summed
+  // across event labels.
   uint64_t Count(AnomalyKind kind, uint32_t shard) const;
   // Sum over all shards.
   uint64_t Count(AnomalyKind kind) const;
@@ -177,11 +194,16 @@ class Watchdog {
     uint64_t progress = 0;
   };
 
+  // Ring-pressure rule, run inside Poll() against PerRingStats().
+  void CheckTraceRings(const WatchdogConfig& config);
+
   mutable std::mutex mu_;
   WatchdogConfig config_;
   std::vector<Probe> probes_;
   std::map<SampleKey, PrevSample> prev_;
-  std::map<std::pair<uint8_t, uint32_t>, uint64_t> counts_;
+  // (kind, shard, event); event is interned ("" for rules that don't
+  // know one), so the pointer is a stable identity.
+  std::map<std::tuple<uint8_t, uint32_t, const char*>, uint64_t> counts_;
   uint64_t last_value_ = 0;
   bool burst_used_ = false;
   bool burst_active_ = false;

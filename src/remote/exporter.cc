@@ -184,8 +184,18 @@ void Exporter::OnDatagram(const net::Packet& packet) {
       obs::CountCrossHostSpan();
     }
   }
-  ReplyMsg reply = Dispatch(request);
-  std::string encoded = EncodeReply(reply);
+  std::string encoded;
+  {
+    // Exporter-side dispatch phase: frame materialization, guard
+    // enforcement, the local raise, and the reply encode. Nested under the
+    // proxy's kWire scope when the sim pump runs this inline on the raising
+    // thread, so wire self-time excludes it.
+    obs::PhaseScope dispatch_phase(obs::Phase::kDispatch,
+                                   obs::Intern(request.event_name),
+                                   span_scope.has_value());
+    ReplyMsg reply = Dispatch(request);
+    encoded = EncodeReply(reply);
+  }
   cache_reply(key, std::move(encoded));
   if (request.kind == RaiseKind::kSync) {
     socket_->SendTo(packet.ip_src(), packet.src_port(),

@@ -150,13 +150,20 @@ bool EventProxy::TransmitAwait(const std::string& encoded,
                                uint64_t trace_arg,
                                const std::function<bool()>& arrived) {
   uint64_t attempt_timeout = opts_.timeout_ns;
+  uint64_t prev_send_v = 0;
   for (uint32_t attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
     if (attempt > 1) {
       ++retries_;
       obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteRetry,
                                          obs_name_, attempt - 1);
+      // The backoff phase is the virtual time burned waiting out the
+      // previous attempt before this resend — the retry policy's share of
+      // the roundtrip, separable from first-attempt transit.
+      obs::EmitVirtualPhase(obs::Phase::kBackoff, obs_name_,
+                            sim_->now_ns() - prev_send_v);
     }
     socket_->SendTo(opts_.remote_ip, opts_.remote_port, encoded);
+    prev_send_v = sim_->now_ns();
     obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteSend,
                                        obs_name_, trace_arg);
     // Pump the simulator up to this attempt's deadline. The sentinel no-op
@@ -206,37 +213,57 @@ uint64_t EventProxy::RaiseSync(uint64_t* slots) {
     wire_scope.emplace();
   }
 
+  const bool tracing = wire_scope.has_value();
   RequestMsg request;
-  request.kind = RaiseKind::kSync;
-  request.request_id = next_id_++;
-  request.token = token_;
-  request.event_name = event_.name();
-  request.params = plan_.params;
-  request.args.reserve(plan_.params.size());
-  for (size_t i = 0; i < plan_.params.size(); ++i) {
-    const WireParam& p = plan_.params[i];
-    if (p.by_ref) {
-      const void* ptr =
-          reinterpret_cast<const void*>(static_cast<uintptr_t>(slots[i]));
-      request.args.push_back(
-          LoadScalar(static_cast<TypeClass>(p.cls), ptr));
-    } else {
-      request.args.push_back(slots[i]);
+  std::string encoded;
+  {
+    obs::PhaseScope marshal_phase(obs::Phase::kMarshal, obs_name_, tracing);
+    request.kind = RaiseKind::kSync;
+    request.request_id = next_id_++;
+    request.token = token_;
+    request.event_name = event_.name();
+    request.params = plan_.params;
+    request.args.reserve(plan_.params.size());
+    for (size_t i = 0; i < plan_.params.size(); ++i) {
+      const WireParam& p = plan_.params[i];
+      if (p.by_ref) {
+        const void* ptr =
+            reinterpret_cast<const void*>(static_cast<uintptr_t>(slots[i]));
+        request.args.push_back(
+            LoadScalar(static_cast<TypeClass>(p.cls), ptr));
+      } else {
+        request.args.push_back(slots[i]);
+      }
     }
+    if (wire_scope) {
+      request.span_id = wire_scope->span();
+      request.origin_host = host_.trace_host_id();
+    }
+    encoded = EncodeRequest(request);
+    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteMarshal,
+                                       obs_name_, encoded.size());
   }
-  if (wire_scope) {
-    request.span_id = wire_scope->span();
-    request.origin_host = host_.trace_host_id();
-  }
-  std::string encoded = EncodeRequest(request);
-  obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteMarshal,
-                                     obs_name_, encoded.size());
 
   const uint64_t id = request.request_id;
   const uint64_t start_ns = sim_->now_ns();
-  if (!TransmitAwait(encoded, id, [this, id] {
-        return dead_ || inbox_.find(id) != inbox_.end();
-      })) {
+  bool got_reply;
+  {
+    // Real-time wire phase: this thread pumping the simulated network for
+    // the reply. The exporter's dispatch runs inline inside this pump (and
+    // subtracts itself from the wire self-time through the nesting chain);
+    // the virtual-clock transit is reported separately below.
+    obs::PhaseScope wire_phase(obs::Phase::kWire, obs_name_, tracing);
+    got_reply = TransmitAwait(encoded, id, [this, id] {
+      return dead_ || inbox_.find(id) != inbox_.end();
+    });
+  }
+  if (tracing) {
+    // What the caller would observe on the simulated cluster's clock:
+    // send to reply join, retries and backoff included (DESIGN.md §15).
+    obs::EmitVirtualPhase(obs::Phase::kWireVirtual, obs_name_,
+                          sim_->now_ns() - start_ns);
+  }
+  if (!got_reply) {
     ++timeouts_;
     obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteTimeout,
                                        obs_name_, id);
@@ -252,6 +279,9 @@ uint64_t EventProxy::RaiseSync(uint64_t* slots) {
         event_.name());
   }
 
+  // Reply unmarshal covers everything after the join: status decode,
+  // exception mapping, VAR copy-out. RAII: an error path still closes it.
+  obs::PhaseScope unmarshal_phase(obs::Phase::kUnmarshal, obs_name_, tracing);
   ReplyMsg reply = std::move(inbox_[id]);
   inbox_.erase(id);
   obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteReply,
@@ -318,9 +348,14 @@ void EventProxy::EnqueueAsync(const uint64_t* slots) {
     std::lock_guard<std::mutex> lock(outbox_mu_);
     request.request_id = next_id_++;
     ++raises_;
-    std::string encoded = EncodeRequest(request);
-    obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteMarshal,
-                                       obs_name_, encoded.size());
+    std::string encoded;
+    {
+      obs::PhaseScope marshal_phase(obs::Phase::kMarshal, obs_name_,
+                                    wire_scope.has_value());
+      encoded = EncodeRequest(request);
+      obs::FlightRecorder::Global().Emit(obs::TraceKind::kRemoteMarshal,
+                                         obs_name_, encoded.size());
+    }
     outbox_.push_back(OutboxEntry{std::move(encoded), request.span_id});
   }
 }
@@ -367,6 +402,9 @@ void EventProxy::OnDatagram(const net::Packet& packet) {
   }
   switch (type) {
     case MsgType::kReply: {
+      // Runs inline inside RaiseSync's wire pump on the same thread, so
+      // this decode nests under (and subtracts from) the kWire scope.
+      obs::PhaseScope decode_phase(obs::Phase::kUnmarshal, obs_name_);
       ReplyMsg reply;
       if (DecodeReply(payload, &reply)) {
         inbox_[reply.request_id] = std::move(reply);

@@ -106,6 +106,81 @@ TEST(StatsTest, DeltaSubtractsCountersAndKeepsGauges) {
   EXPECT_EQ(d.series[0].value, 0u);
 }
 
+// Restart semantics: after the process (or a Histogram::Reset) zeroes the
+// source histograms, every shrunken counter clamps to zero instead of
+// wrapping to a gigantic unsigned delta. The clamped (all-zero) row is
+// suppressed for that one window; the window after it resyncs against the
+// post-restart baseline and reports normally.
+TEST(StatsTest, DeltaClampsARestartedEventHistogram) {
+  obs::StatsSnapshot a;
+  a.ts_ns = 1'000;
+  obs::EventStat ea;
+  ea.event = "Restarted";
+  ea.kind = obs::DispatchKind::kStub;
+  ea.hist.count = 100;
+  ea.hist.sum = 50'000;
+  ea.hist.max = 900;
+  ea.hist.buckets[10] = 100;
+  a.events.push_back(ea);
+
+  obs::StatsSnapshot b = a;
+  b.ts_ns = 2'000;
+  b.events[0].hist.count = 3;  // restarted: fewer samples than before
+  b.events[0].hist.sum = 90;
+  b.events[0].hist.max = 60;
+  b.events[0].hist.buckets[10] = 0;
+  b.events[0].hist.buckets[6] = 3;
+
+  obs::StatsSnapshot d = obs::Delta(a, b);
+  EXPECT_TRUE(d.events.empty())
+      << "a shrunken histogram clamps to zero (one suppressed window), "
+         "never to a wrapped count";
+
+  // The next window diffs post-restart against post-restart and is whole.
+  obs::StatsSnapshot c = b;
+  c.ts_ns = 3'000;
+  c.events[0].hist.count = 8;
+  c.events[0].hist.sum = 250;
+  c.events[0].hist.buckets[6] = 8;
+  d = obs::Delta(b, c);
+  ASSERT_EQ(d.events.size(), 1u);
+  EXPECT_EQ(d.events[0].hist.count, 5u);
+  EXPECT_EQ(d.events[0].hist.sum, 160u);
+  EXPECT_EQ(d.events[0].hist.buckets[6], 5u);
+  EXPECT_EQ(d.events[0].hist.max, 60u) << "max is the window's observation";
+}
+
+// A gauge can vanish between snapshots: spin_phase_ns_max series exist only
+// while their event has recorded samples, so a ResetPhaseStats (or a
+// restart) removes them. The delta follows the newer snapshot — departed
+// series drop out silently, newborn counters report their full value.
+TEST(StatsTest, DeltaHandlesDisappearingAndNewbornSeries) {
+  obs::StatsSnapshot a;
+  a.ts_ns = 1'000;
+  a.series = {
+      {"spin_phase_ns_max{event=\"E\",phase=\"wire\"}", 800, false},
+      {"spin_x_total{l=\"1\"}", 10, true},
+  };
+  obs::StatsSnapshot b;
+  b.ts_ns = 2'000;
+  b.series = {
+      {"spin_x_total{l=\"1\"}", 12, true},
+      {"spin_y_total{l=\"2\"}", 7, true},  // first appearance
+  };
+
+  obs::StatsSnapshot d = obs::Delta(a, b);
+  ASSERT_EQ(d.series.size(), 2u);
+  EXPECT_EQ(FindSeries(d, "spin_phase_ns_max"), nullptr)
+      << "a series absent from the newer snapshot is gone, not zero";
+  const obs::SeriesSample* x = FindSeries(d, "spin_x_total");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->value, 2u);
+  const obs::SeriesSample* y = FindSeries(d, "spin_y_total");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->value, 7u)
+      << "a newborn counter's first window is its whole value";
+}
+
 TEST(StatsTest, DeltaDropsIdleEventsKeepsActiveOnes) {
   obs::StatsSnapshot a;
   a.ts_ns = 0;

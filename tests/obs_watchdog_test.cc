@@ -295,7 +295,80 @@ TEST(WatchdogTest, RetryStormDetectedUnderPartition) {
   std::ostringstream os;
   obs::ExportMetrics(os);
   EXPECT_NE(os.str().find("spin_anomalies_total{kind=\"retry_storm\","
-                          "shard=\"0\"}"),
+                          "shard=\"0\",event=\"\"}"),
+            std::string::npos)
+      << "monitor rules export with an empty event label:\n" << os.str();
+}
+
+TEST(WatchdogTest, SlowHandlerAnomaliesExportWithEventLabel) {
+  obs::Watchdog& dog = obs::Watchdog::Global();
+
+  Dispatcher dispatcher;
+  Module module("WatchdogTest");
+  Event<void(int64_t)> event("Watch.Labeled", &module, nullptr, &dispatcher);
+  SleepCtx ctx{20};
+  dispatcher.InstallHandler(event, &MaybeSleepHandler, &ctx,
+                            {.module = &module});
+
+  obs::WatchdogConfig config;
+  config.period_ms = 0;
+  config.slow_handler_ns = 5'000'000;
+  dog.Arm(config);
+  event.Raise(1);  // 20 ms >= 5 ms: trips the inline deadline
+  dog.Disarm();
+
+  // The deadline check knows which event blew its budget, so its counter
+  // series carries the event name.
+  std::ostringstream os;
+  obs::ExportMetrics(os);
+  EXPECT_NE(os.str().find("spin_anomalies_total{kind=\"slow_handler\","
+                          "shard=\"0\",event=\"Watch.Labeled\"}"),
+            std::string::npos)
+      << os.str();
+}
+
+TEST(WatchdogTest, TraceRingPressureRule) {
+  obs::Watchdog& dog = obs::Watchdog::Global();
+  const uint64_t base = dog.Count(obs::AnomalyKind::kTraceDrops);
+
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  rec.Reset(16);  // tiny rings so a short burst wraps
+  obs::SetTraceConfig({obs::TraceMode::kFull});
+
+  obs::WatchdogConfig config;
+  config.period_ms = 0;
+  config.trace_drop_ratio = 0.25;
+  dog.Arm(config);
+  dog.Poll();  // baseline observation of every ring's counters
+
+  // 128 emits through a 16-slot ring overwrite ~112 records — a drop
+  // ratio far past 0.25, so the next poll must flag this thread's ring.
+  const char* name = obs::Intern("ring/pressure");
+  for (int i = 0; i < 128; ++i) {
+    rec.Emit(obs::TraceKind::kRaiseBegin, name, 0);
+  }
+  dog.Poll();
+  EXPECT_GE(dog.Count(obs::AnomalyKind::kTraceDrops), base + 1);
+  EXPECT_GE(dog.last_value(), 96u) << "value is the overwrite delta";
+
+  // A quiet period (no emits anywhere) must not re-fire.
+  const uint64_t after = dog.Count(obs::AnomalyKind::kTraceDrops);
+  dog.Poll();
+  EXPECT_EQ(dog.Count(obs::AnomalyKind::kTraceDrops), after);
+
+  // Reset shrinks the counters below the stored baseline; the rule
+  // re-baselines instead of firing on the bogus negative delta.
+  rec.Reset();
+  dog.Poll();
+  EXPECT_EQ(dog.Count(obs::AnomalyKind::kTraceDrops), after);
+
+  dog.Disarm();
+  obs::SetTraceConfig({obs::TraceMode::kOff});
+  rec.Reset();
+
+  std::ostringstream os;
+  obs::ExportMetrics(os);
+  EXPECT_NE(os.str().find("spin_anomalies_total{kind=\"trace_drops\""),
             std::string::npos)
       << os.str();
 }

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Fold the phase slices of a spin Chrome trace into flamegraph stacks.
+
+The input is the JSON obs::WriteChromeTrace writes: every record carries
+its span id and parent span id in args, and phase segments (PhaseScope)
+are "X" slices with cat == "phase" whose args hold the owning event name
+and the segment's self-time (duration minus nested phase time). This
+tool rebuilds the span tree from those ids — the same tree
+obs::CriticalPath builds in-process — and emits one folded line per
+(span path, phase):
+
+    Client.Op;Remote.Op;wire 48210
+    Client.Op;Remote.Op;(untracked) 1890
+
+which flamegraph.pl / speedscope / inferno consume directly. The
+`(untracked)` leaf is each span's wall time that neither its own phases
+nor its children account for; it is emitted explicitly so a coverage gap
+shows up as a visible block instead of silently widening every phase.
+Virtual-clock phases (wire_virtual, backoff — simulator durations, not
+host time) are excluded from stacks but reported in the attribution
+summary.
+
+Usage:
+  spin_flame.py trace.json                     # folded stacks on stdout
+  spin_flame.py trace.json -o out.folded
+  spin_flame.py trace.json --check             # validate, no output:
+                                               #   exit 1 on structural
+                                               #   errors (orphan phases,
+                                               #   self-time > wall, ...)
+  spin_flame.py trace.json --attribution a.json  # per-root phase budget
+"""
+
+import argparse
+import json
+import sys
+
+# Phases whose durations are simulator-clock, not host-clock: they render
+# as instants ("i") with args.virtual == true and stay off the stacks.
+VIRTUAL_PHASES = ("wire_virtual", "backoff")
+
+
+class Span:
+    __slots__ = ("span", "parent", "begin", "end", "name", "phases",
+                 "virtual", "children")
+
+    def __init__(self, span):
+        self.span = span
+        self.parent = 0
+        self.begin = None  # ns
+        self.end = 0  # ns
+        self.name = None
+        self.phases = {}  # phase name -> summed self ns
+        self.virtual = {}  # phase name -> summed virtual ns
+        self.children = []
+
+
+def _ns(us):
+    """Chrome trace timestamps are microsecond floats; recover ns."""
+    return int(round(us * 1000.0))
+
+
+def build_spans(events, errors):
+    spans = {}
+
+    def get(span_id):
+        if span_id not in spans:
+            spans[span_id] = Span(span_id)
+        return spans[span_id]
+
+    for ev in events:
+        args = ev.get("args") or {}
+        span_id = args.get("span", 0)
+        if not span_id:
+            if ev.get("cat") == "phase":
+                # A phase slice outside any span would be invisible in the
+                # folded output; the recorder counts these as orphans and
+                # never writes them, so seeing one means the trace is
+                # corrupt.
+                errors.append(
+                    f"phase slice '{ev.get('name')}' has no span id")
+            continue
+        info = get(span_id)
+        parent = args.get("parent", 0)
+        if parent and not info.parent:
+            info.parent = parent
+        ts = _ns(ev.get("ts", 0.0))
+        info.begin = ts if info.begin is None else min(info.begin, ts)
+        info.end = max(info.end, ts)
+        if ev.get("cat") == "phase":
+            phase = ev.get("name", "?")
+            if ev.get("ph") == "X":
+                dur = _ns(ev.get("dur", 0.0))
+                info.end = max(info.end, ts + dur)
+                self_ns = args.get("self_ns", 0)
+                if self_ns > dur + 1000:  # 1 us of float-µs rounding slack
+                    errors.append(
+                        f"span {span_id} phase '{phase}': self_ns "
+                        f"{self_ns} exceeds slice duration {dur}")
+                info.phases[phase] = info.phases.get(phase, 0) + self_ns
+            else:
+                info.virtual[phase] = (
+                    info.virtual.get(phase, 0) + args.get("self_ns", 0))
+        elif ev.get("cat") == "raise_begin":
+            info.name = ev.get("name", "?")
+        elif info.name is None and ev.get("cat") != "span":
+            # Fall back to the first named record: a wire span has no
+            # raise_begin of its own.
+            info.name = ev.get("name", "?")
+
+    roots = []
+    for span_id, info in sorted(spans.items()):
+        if info.parent and info.parent in spans:
+            spans[info.parent].children.append(span_id)
+        else:
+            roots.append(span_id)
+    return spans, roots
+
+
+def wall(info):
+    if info.begin is None or info.end <= info.begin:
+        return 0
+    return info.end - info.begin
+
+
+def fold(spans, roots, out):
+    lines = []
+
+    def walk(span_id, path):
+        info = spans[span_id]
+        path = path + [info.name or "?"]
+        prefix = ";".join(path)
+        accounted = 0
+        for phase in sorted(info.phases):
+            self_ns = info.phases[phase]
+            if self_ns:
+                lines.append(f"{prefix};{phase} {self_ns}")
+                accounted += self_ns
+        children_wall = 0
+        for child in info.children:
+            children_wall += wall(spans[child])
+            walk(child, path)
+        untracked = wall(info) - accounted - children_wall
+        if untracked > 0:
+            lines.append(f"{prefix};(untracked) {untracked}")
+
+    for root in roots:
+        walk(root, [])
+    out.write("\n".join(lines) + ("\n" if lines else ""))
+    return lines
+
+
+def attribute(spans, roots):
+    """Per-root phase budget, the JSON twin of CriticalPath::Attribute."""
+    out = []
+    for root in roots:
+        total = {}
+        virtual = {}
+        stack = [root]
+        tracked = 0
+        while stack:
+            info = spans[stack.pop()]
+            for phase, ns in info.phases.items():
+                total[phase] = total.get(phase, 0) + ns
+                tracked += ns
+            for phase, ns in info.virtual.items():
+                virtual[phase] = virtual.get(phase, 0) + ns
+            stack.extend(info.children)
+        w = wall(spans[root])
+        out.append({
+            "root_span": root,
+            "event": spans[root].name or "?",
+            "wall_ns": w,
+            "tracked_ns": tracked,
+            "residual_ns": max(w - tracked, 0),
+            "coverage": (tracked / w) if w else 0.0,
+            "self_ns": dict(sorted(total.items())),
+            "virtual_ns": dict(sorted(virtual.items())),
+        })
+    return out
+
+
+def check(spans, roots, errors):
+    for span_id, info in spans.items():
+        w = wall(info)
+        tracked = sum(info.phases.values())
+        # Phases partition the span's extent; allow 1 us of slack for the
+        # microsecond rounding WriteChromeTrace applies to timestamps.
+        if tracked > w + 1000:
+            errors.append(
+                f"span {span_id} ({info.name or '?'}): phase self-time "
+                f"{tracked} ns exceeds wall {w} ns")
+        for phase in info.virtual:
+            if phase not in VIRTUAL_PHASES:
+                errors.append(
+                    f"span {span_id}: instant phase '{phase}' is not a "
+                    f"known virtual phase")
+    reachable = set()
+    stack = list(roots)
+    while stack:
+        span_id = stack.pop()
+        if span_id in reachable:
+            errors.append(f"span tree cycle through span {span_id}")
+            break
+        reachable.add(span_id)
+        stack.extend(spans[span_id].children)
+    if len(reachable) != len(spans):
+        errors.append(
+            f"{len(spans) - len(reachable)} span(s) unreachable from roots")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fold spin phase traces into flamegraph stacks.")
+    parser.add_argument("trace", help="Chrome trace JSON from "
+                        "obs::WriteChromeTrace")
+    parser.add_argument("-o", "--output", help="folded stacks file "
+                        "(default: stdout)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate phase structure (folded stacks still "
+                        "written when -o is given, but not to stdout)")
+    parser.add_argument("--attribution",
+                        help="write per-root phase budgets as JSON")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"spin_flame: {args.trace}: {e}", file=sys.stderr)
+        return 1
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+
+    errors = []
+    spans, roots = build_spans(events, errors)
+    if args.check:
+        check(spans, roots, errors)
+    if args.attribution:
+        with open(args.attribution, "w", encoding="utf-8") as f:
+            json.dump({"roots": attribute(spans, roots)}, f, indent=2)
+            f.write("\n")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            fold(spans, roots, f)
+    elif not args.check:
+        fold(spans, roots, sys.stdout)
+
+    if errors:
+        for err in errors:
+            print(f"spin_flame: {args.trace}: {err}", file=sys.stderr)
+        return 1
+    n_phases = sum(len(s.phases) for s in spans.values())
+    print(f"OK: {len(spans)} span(s), {len(roots)} root(s), "
+          f"{n_phases} phased", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Checks, per file:
      (pid, tid), properly nested (a stack, not a multiset).
   3. Flow events resolve: every flow step ("t") and finish ("f") id was
      started by an "s" event somewhere in the trace.
+  4. Complete ("X") slices — the phase segments — carry a numeric ts and a
+     non-negative dur.
 
 Exit status 0 when every file passes; 1 otherwise, with one line per
 failure. Usage: validate_trace.py trace.json [more.json ...]
@@ -50,6 +52,13 @@ def validate(path):
             flow_started.add(ev.get("id"))
         elif ph in ("t", "f"):
             flow_used.append((ev.get("id"), ph, i))
+        elif ph == "X":
+            if not isinstance(ev.get("ts"), (int, float)):
+                errors.append(f"{path}: event {i}: X slice without ts")
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(
+                    f"{path}: event {i}: X slice with bad dur {dur!r}")
 
     for key, stack in stacks.items():
         if stack:
